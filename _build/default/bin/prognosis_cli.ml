@@ -1,0 +1,450 @@
+(* The Prognosis command-line interface: learn models of the bundled
+   protocol implementations, compare them, run the nondeterminism
+   check, synthesize register machines and check temporal properties —
+   the same analyses the paper's evaluation performs (§6). *)
+
+open Cmdliner
+module Mealy = Prognosis_automata.Mealy
+module Learn = Prognosis_learner.Learn
+open Prognosis
+
+let profile_of_name name =
+  match Prognosis_quic.Quic_profile.find name with
+  | Some p -> Ok p
+  | None ->
+      Error
+        (Printf.sprintf "unknown profile %S (available: %s)" name
+           (String.concat ", "
+              (List.map
+                 (fun p -> p.Prognosis_quic.Quic_profile.name)
+                 Prognosis_quic.Quic_profile.all)))
+
+(* --- common options --- *)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+
+let verbose =
+  let doc = "Log learning progress to stderr." in
+  Term.(const setup_logs $ Arg.(value & flag & info [ "verbose"; "v" ] ~doc))
+
+let seed =
+  let doc = "Seed for every pseudo-random choice (fully reproducible runs)." in
+  Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"N" ~doc)
+
+let algorithm =
+  let doc = "Learning algorithm: $(b,ttt) or $(b,lstar)." in
+  let algo_conv = Arg.enum [ ("ttt", Learn.Ttt_tree); ("lstar", Learn.L_star) ] in
+  Arg.(value & opt algo_conv Learn.Ttt_tree & info [ "algorithm" ] ~docv:"ALGO" ~doc)
+
+let protocol =
+  let doc = "Protocol to analyze: $(b,tcp), $(b,quic) or $(b,dtls)." in
+  Arg.(value
+       & opt (enum [ ("tcp", `Tcp); ("quic", `Quic); ("dtls", `Dtls) ]) `Tcp
+       & info [ "protocol" ] ~docv:"PROTO" ~doc)
+
+let profile_arg =
+  let doc = "QUIC server profile (quiche-like, google-like, mvfst-like, strict-retry, ncid-buggy)." in
+  Arg.(value & opt string "quiche-like" & info [ "profile" ] ~docv:"NAME" ~doc)
+
+let dot_out =
+  let doc = "Write a Graphviz rendering of the learned model to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 1
+
+(* --- learn --- *)
+
+let do_learn () protocol profile_name seed algorithm dot_out save_out =
+  let report, dot, save =
+    try
+      match protocol with
+    | `Tcp ->
+        let r = Tcp_study.learn ~seed ~algorithm () in
+        ( r.Tcp_study.report,
+          Tcp_study.model_dot r.Tcp_study.model,
+          fun path -> Persist.save ~path Persist.Tcp_model r.Tcp_study.model )
+    | `Quic ->
+        let profile = or_die (profile_of_name profile_name) in
+        let r = Quic_study.learn ~seed ~algorithm ~profile () in
+        ( r.Quic_study.report,
+          Quic_study.model_dot r.Quic_study.model,
+          fun path -> Persist.save ~path Persist.Quic_model r.Quic_study.model )
+    | `Dtls ->
+        let r = Dtls_study.learn ~seed ~algorithm () in
+        ( r.Dtls_study.report,
+          Dtls_study.model_dot r.Dtls_study.model,
+          fun path -> Persist.save ~path Persist.Dtls_model r.Dtls_study.model )
+    with
+    | Invalid_argument msg when String.length msg >= 5 && String.sub msg 0 5 = "Cache"
+      ->
+        or_die
+          (Error
+             ("the implementation answered the same query differently across \
+               runs — learning pauses, as in the paper's nondeterminism check \
+               (§5). Investigate with `prognosis nondet`. Detail: " ^ msg))
+    | Prognosis_sul.Nondet.Nondeterministic_sul msg ->
+        or_die
+          (Error
+             ("nondeterministic implementation: " ^ msg
+            ^ ". Investigate with `prognosis nondet`."))
+  in
+  Format.printf "%a@." Report.pp report;
+  Format.printf "traces of length <= 10 over this alphabet: %d@."
+    (Report.trace_count report ~max_len:10);
+  (match dot_out with
+  | None -> ()
+  | Some path ->
+      Prognosis_analysis.Visualize.write_file ~path dot;
+      Format.printf "model written to %s@." path);
+  match save_out with
+  | None -> ()
+  | Some path ->
+      save path;
+      Format.printf "model saved to %s (reload with `prognosis replay`)@." path
+
+let save_out =
+  let doc = "Persist the learned model to $(docv) for later replay." in
+  Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+
+let learn_cmd =
+  let doc = "Learn a Mealy-machine model of a protocol implementation." in
+  Cmd.v
+    (Cmd.info "learn" ~doc)
+    Term.(
+      const do_learn $ verbose $ protocol $ profile_arg $ seed $ algorithm
+      $ dot_out $ save_out)
+
+(* --- compare --- *)
+
+let do_compare () profile_a profile_b seed dot_out =
+  let pa = or_die (profile_of_name profile_a) in
+  let pb = or_die (profile_of_name profile_b) in
+  let summary = Quic_study.compare_profiles ~seed pa pb in
+  Format.printf "%a@."
+    (Prognosis_analysis.Model_diff.pp_summary
+       ~input_pp:Quic_study.Alphabet.pp
+       ~output_pp:Quic_study.Alphabet.pp_output)
+    summary;
+  match dot_out with
+  | None -> ()
+  | Some path ->
+      let a = Quic_study.learn ~seed ~profile:pa () in
+      let b = Quic_study.learn ~seed:(Int64.add seed 31L) ~profile:pb () in
+      let dot =
+        Prognosis_analysis.Visualize.diff_dot
+          ~input_pp:Quic_study.Alphabet.pp
+          ~output_pp:Quic_study.Alphabet.pp_output a.Quic_study.model
+          b.Quic_study.model
+      in
+      Prognosis_analysis.Visualize.write_file ~path dot;
+      Format.printf "diff written to %s@." path
+
+let compare_cmd =
+  let doc = "Learn two QUIC profiles and compare their models." in
+  let profile_b =
+    Arg.(value & opt string "strict-retry"
+         & info [ "against" ] ~docv:"NAME" ~doc:"Second profile.")
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc)
+    Term.(const do_compare $ verbose $ profile_arg $ profile_b $ seed $ dot_out)
+
+(* --- nondet --- *)
+
+let do_nondet () profile_name seed runs =
+  let profile = or_die (profile_of_name profile_name) in
+  let rate = Quic_study.close_reset_rate ~seed ~runs profile in
+  Format.printf
+    "profile %s: %.1f%% of post-close probes answered with a Stateless Reset \
+     (%d runs)@."
+    profile_name (100.0 *. rate) runs;
+  if rate > 0.01 && rate < 0.99 then
+    Format.printf
+      "NONDETERMINISTIC reset behaviour: inconsistent RESET policy with no \
+       back-off (the paper's Issue 2, a DoS vector).@."
+  else Format.printf "consistent reset policy.@."
+
+let nondet_cmd =
+  let doc = "Measure post-close Stateless Reset behaviour (Issue 2)." in
+  let runs =
+    Arg.(value & opt int 200 & info [ "runs" ] ~docv:"N" ~doc:"Probe count.")
+  in
+  Cmd.v (Cmd.info "nondet" ~doc) Term.(const do_nondet $ verbose $ profile_arg $ seed $ runs)
+
+(* --- synthesize --- *)
+
+let do_synthesize () protocol profile_name seed =
+  match protocol with
+  | `Dtls ->
+      or_die (Error "register synthesis is available for tcp and quic targets")
+  | `Tcp -> begin
+      let r = Tcp_study.learn ~seed () in
+      let words =
+        Prognosis_tcp.Tcp_alphabet.
+          [ [ Syn; Ack; Ack_psh; Ack_psh ]; [ Syn; Ack_psh; Fin_ack ]; [ Syn; Ack; Fin_ack; Ack ] ]
+      in
+      match Tcp_study.synthesize r words with
+      | Error e -> or_die (Error e)
+      | Ok machine ->
+          print_string
+            (Prognosis_synthesis.Ext_mealy.to_dot
+               ~input_pp:(fun fmt s ->
+                 Format.pp_print_string fmt (Prognosis_tcp.Tcp_alphabet.to_string s))
+               ~output_pp:(fun fmt o ->
+                 Format.pp_print_string fmt
+                   (Prognosis_tcp.Tcp_alphabet.output_to_string o))
+               ~names_in:Tcp_study.input_field_names
+               ~names_out:Tcp_study.output_field_names machine)
+    end
+  | `Quic -> begin
+      let profile = or_die (profile_of_name profile_name) in
+      let r = Quic_study.learn ~seed ~profile () in
+      let words =
+        Quic_study.Alphabet.
+          [
+            [ Initial_crypto; Initial_crypto; Handshake_ack_crypto; Short_ack_stream ];
+            [
+              Initial_crypto;
+              Initial_crypto;
+              Handshake_ack_crypto;
+              Short_ack_stream;
+              Short_ack_flow;
+            ];
+          ]
+      in
+      match Quic_study.synthesize_sdb r words with
+      | Error e -> or_die (Error e)
+      | Ok machine -> (
+          match Quic_study.sdb_verdict machine with
+          | `Constant c ->
+              Format.printf
+                "STREAM_DATA_BLOCKED Maximum Stream Data is the CONSTANT %d — \
+                 the paper's Issue 4 when 0.@."
+                c
+          | `Symbolic ->
+              Format.printf
+                "STREAM_DATA_BLOCKED Maximum Stream Data tracks the blocked \
+                 offset (compliant).@."
+          | `Unobserved ->
+              Format.printf "no STREAM_DATA_BLOCKED frames observed.@.")
+    end
+
+let synthesize_cmd =
+  let doc = "Synthesize a register-extended model from Oracle-Table traces." in
+  Cmd.v
+    (Cmd.info "synthesize" ~doc)
+    Term.(const do_synthesize $ verbose $ protocol $ profile_arg $ seed)
+
+(* --- check --- *)
+
+let do_check () profile_name seed =
+  let profile = or_die (profile_of_name profile_name) in
+  let r = Quic_study.learn ~seed ~profile () in
+  let module Safety = Prognosis_analysis.Safety in
+  (* Model-level property: once the server answered with
+     CONNECTION_CLOSE, it never sends application data again. *)
+  let has_close (out : Quic_study.Alphabet.output) =
+    List.exists
+      (fun (a : Quic_study.Alphabet.apacket) ->
+        List.mem Prognosis_quic.Frame.K_connection_close a.Quic_study.Alphabet.frames)
+      out
+  in
+  let has_stream (out : Quic_study.Alphabet.output) =
+    List.exists
+      (fun (a : Quic_study.Alphabet.apacket) ->
+        List.mem Prognosis_quic.Frame.K_stream a.Quic_study.Alphabet.frames)
+      out
+  in
+  let prop =
+    Safety.after_always "no stream data after CONNECTION_CLOSE"
+      ~trigger:(fun (_, o) -> has_close o)
+      ~then_:(fun (_, o) -> not (has_stream o))
+  in
+  (match Safety.check prop r.Quic_study.model with
+  | None -> Format.printf "[ok]   %s@." (Safety.name prop)
+  | Some word ->
+      Format.printf "[FAIL] %s; witness: %s@." (Safety.name prop)
+        (String.concat " " (List.map Quic_study.Alphabet.to_string word)));
+  (* Concrete-trace properties. *)
+  let words =
+    Quic_study.Alphabet.
+      [ [ Initial_crypto; Initial_crypto; Handshake_ack_crypto; Short_ack_stream ] ]
+  in
+  let pns = Quic_study.packet_number_sequences r words in
+  List.iter
+    (fun seq ->
+      match Safety.strictly_increasing seq with
+      | Safety.Holds -> Format.printf "[ok]   packet numbers always increasing@."
+      | Safety.Violated _ as v ->
+          Format.printf "[FAIL] packet numbers: %a@." Safety.pp_verdict v)
+    pns;
+  let ncids =
+    Prognosis_quic.Quic_client.ncid_sequence_numbers r.Quic_study.client
+  in
+  if ncids <> [] then
+    match Safety.increases_by ~stride:1 ncids with
+    | Safety.Holds ->
+        Format.printf "[ok]   connection-id sequence numbers increase by 1@."
+    | Safety.Violated _ as v ->
+        Format.printf "[FAIL] connection-id sequence numbers: %a@."
+          Safety.pp_verdict v
+
+let check_cmd =
+  let doc = "Check temporal and numeric properties of a QUIC profile." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const do_check $ verbose $ profile_arg $ seed)
+
+(* --- difftest --- *)
+
+let do_difftest () profile_a profile_b seed =
+  let pa = or_die (profile_of_name profile_a) in
+  let pb = or_die (profile_of_name profile_b) in
+  let model_a = (Quic_study.learn ~seed ~profile:pa ()).Quic_study.model in
+  let sul_b =
+    Prognosis_quic.Quic_adapter.sul ~profile:pb ~seed:(Int64.add seed 31L) ()
+  in
+  let module Diff_test = Prognosis_analysis.Diff_test in
+  Format.printf
+    "model of %s drives %d conformance tests against a live %s instance@."
+    profile_a
+    (Diff_test.suite_size model_a)
+    profile_b;
+  match Diff_test.model_guided ~max_mismatches:5 ~model:model_a sul_b with
+  | [] -> Format.printf "no behavioural differences found.@."
+  | mismatches ->
+      Format.printf "%d mismatching test cases (showing replayable witnesses):@."
+        (List.length mismatches);
+      List.iter
+        (fun m ->
+          Format.printf "  on: %s@."
+            (String.concat " "
+               (List.map Quic_study.Alphabet.to_string m.Diff_test.word));
+          Format.printf "    %-12s: %s@." profile_a
+            (String.concat " "
+               (List.map Quic_study.Alphabet.output_to_string m.Diff_test.outputs_a));
+          Format.printf "    %-12s: %s@." profile_b
+            (String.concat " "
+               (List.map Quic_study.Alphabet.output_to_string m.Diff_test.outputs_b)))
+        mismatches
+
+let difftest_cmd =
+  let doc =
+    "Model-guided differential testing: a learned model of one QUIC profile \
+     generates a conformance suite executed against another (paper §7)."
+  in
+  let profile_b =
+    Arg.(value & opt string "strict-retry"
+         & info [ "against" ] ~docv:"NAME" ~doc:"Implementation under test.")
+  in
+  Cmd.v
+    (Cmd.info "difftest" ~doc)
+    Term.(const do_difftest $ verbose $ profile_arg $ profile_b $ seed)
+
+(* --- render --- *)
+
+let do_render () seed dir =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let write name dot =
+    let path = Filename.concat dir name in
+    Prognosis_analysis.Visualize.write_file ~path dot;
+    Format.printf "%s@." path
+  in
+  write "tcp_model.dot" (Tcp_study.model_dot (Tcp_study.learn ~seed ()).Tcp_study.model);
+  List.iter
+    (fun profile ->
+      let r = Quic_study.learn ~seed ~profile () in
+      write
+        (Printf.sprintf "quic_%s.dot"
+           (String.map
+              (fun c -> if c = '-' then '_' else c)
+              profile.Prognosis_quic.Quic_profile.name))
+        (Quic_study.model_dot r.Quic_study.model))
+    Prognosis_quic.Quic_profile.
+      [ quiche_like; google_like; strict_retry ];
+  write "dtls_model.dot" (Dtls_study.model_dot (Dtls_study.learn ~seed ()).Dtls_study.model)
+
+let render_cmd =
+  let doc = "Render every learned model to Graphviz files (paper App. A figures)." in
+  let dir =
+    Arg.(value & opt string "figures" & info [ "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v (Cmd.info "render" ~doc) Term.(const do_render $ verbose $ seed $ dir)
+
+(* --- replay --- *)
+
+let parse_word all to_string tokens =
+  List.map
+    (fun token ->
+      match Array.to_list all |> List.find_opt (fun s -> to_string s = token) with
+      | Some s -> s
+      | None ->
+          or_die
+            (Error
+               (Printf.sprintf "unknown symbol %S (known: %s)" token
+                  (String.concat ", "
+                     (Array.to_list (Array.map to_string all))))))
+    tokens
+
+let do_replay () protocol model_path word =
+  let tokens =
+    String.split_on_char ' ' word |> List.filter (fun t -> t <> "")
+  in
+  if tokens = [] then or_die (Error "empty word; pass --word \"SYM SYM ...\"");
+  match protocol with
+  | `Tcp ->
+      let model = or_die (Persist.load_tcp ~path:model_path) in
+      let module A = Prognosis_tcp.Tcp_alphabet in
+      let input = parse_word A.all A.to_string tokens in
+      List.iter2
+        (fun i o ->
+          Format.printf "%-28s -> %s@." (A.to_string i) (A.output_to_string o))
+        input (Mealy.run model input)
+  | `Quic ->
+      let model = or_die (Persist.load_quic ~path:model_path) in
+      let module A = Prognosis_quic.Quic_alphabet in
+      let input = parse_word A.extended A.to_string tokens in
+      List.iter2
+        (fun i o ->
+          Format.printf "%-42s -> %s@." (A.to_string i) (A.output_to_string o))
+        input (Mealy.run model input)
+  | `Dtls ->
+      let model = or_die (Persist.load_dtls ~path:model_path) in
+      let module A = Prognosis_dtls.Dtls_alphabet in
+      let input = parse_word A.all A.to_string tokens in
+      List.iter2
+        (fun i o ->
+          Format.printf "%-24s -> %s@." (A.to_string i) (A.output_to_string o))
+        input (Mealy.run model input)
+
+let replay_cmd =
+  let doc =
+    "Replay an abstract input word through a previously saved model (no live \
+     implementation needed)."
+  in
+  let model_path =
+    Arg.(required & opt (some string) None
+         & info [ "model" ] ~docv:"FILE" ~doc:"Model file from `learn --save`.")
+  in
+  let word =
+    Arg.(required & opt (some string) None
+         & info [ "word" ] ~docv:"SYMS" ~doc:"Space-separated abstract symbols.")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc)
+    Term.(const do_replay $ verbose $ protocol $ model_path $ word)
+
+let main =
+  let doc = "closed-box learning and analysis of protocol implementations" in
+  Cmd.group
+    (Cmd.info "prognosis" ~version:"1.0.0" ~doc)
+    [
+      learn_cmd; compare_cmd; nondet_cmd; synthesize_cmd; check_cmd; difftest_cmd;
+      render_cmd; replay_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

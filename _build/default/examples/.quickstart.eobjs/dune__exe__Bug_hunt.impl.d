@@ -1,0 +1,1 @@
+examples/bug_hunt.ml: Format List Prognosis_analysis Prognosis_learner Prognosis_quic Prognosis_sul String

@@ -1,0 +1,1 @@
+examples/dtls_walkthrough.mli:

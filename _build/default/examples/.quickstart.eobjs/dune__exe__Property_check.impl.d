@@ -1,0 +1,1 @@
+examples/property_check.ml: Format List Prognosis Prognosis_analysis Prognosis_quic Quic_study String

@@ -1,0 +1,1 @@
+examples/property_check.mli:

@@ -1,0 +1,1 @@
+examples/quic_compare.ml: Format List Prognosis Prognosis_analysis Prognosis_quic Quic_study Report String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Prognosis Prognosis_analysis Prognosis_automata Prognosis_tcp Report Tcp_study

@@ -1,0 +1,1 @@
+lib/analysis/diff_test.ml: List Prognosis_automata Prognosis_sul

@@ -1,0 +1,1 @@
+lib/analysis/diff_test.mli: Prognosis_automata Prognosis_sul

@@ -1,0 +1,1 @@
+lib/analysis/model_diff.ml: Array Format Hashtbl List Option Prognosis_automata Queue

@@ -1,0 +1,1 @@
+lib/analysis/model_diff.mli: Format Prognosis_automata

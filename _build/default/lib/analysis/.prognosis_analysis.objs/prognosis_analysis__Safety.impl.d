@@ -1,0 +1,1 @@
+lib/analysis/safety.ml: Array Format Hashtbl List Printf Prognosis_automata Queue

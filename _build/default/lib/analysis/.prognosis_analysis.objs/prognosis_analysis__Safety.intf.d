@@ -1,0 +1,1 @@
+lib/analysis/safety.mli: Format Prognosis_automata

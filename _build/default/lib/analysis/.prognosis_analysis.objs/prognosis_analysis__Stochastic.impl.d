@@ -1,0 +1,1 @@
+lib/analysis/stochastic.ml: Array Buffer Format Hashtbl List Prognosis_automata Prognosis_sul String

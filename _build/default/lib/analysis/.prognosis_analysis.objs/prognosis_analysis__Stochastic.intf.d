@@ -1,0 +1,1 @@
+lib/analysis/stochastic.mli: Format Prognosis_automata Prognosis_sul

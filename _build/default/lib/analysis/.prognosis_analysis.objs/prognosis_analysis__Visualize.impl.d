@@ -1,0 +1,1 @@
+lib/analysis/visualize.ml: Array Buffer Format Fun Hashtbl Printf Prognosis_automata Queue String

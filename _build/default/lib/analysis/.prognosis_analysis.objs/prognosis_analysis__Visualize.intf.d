@@ -1,0 +1,1 @@
+lib/analysis/visualize.mli: Format Prognosis_automata

@@ -1,0 +1,43 @@
+(** Model-guided differential testing (paper §7).
+
+    The paper positions Prognosis as a complement to differential
+    testing [McKeeman 1998]: a learned model and the Adapter generate
+    high-quality test cases that trigger complex behaviours — hard to
+    reach in a closed-box setting with random inputs. This module runs
+    the two directions:
+
+    {ul
+    {- {!run}: execute an explicit suite against two live SULs and
+       collect the words where their answers differ;}
+    {- {!model_guided}: derive a conformance suite (W-method) from the
+       learned model of implementation A and execute it against
+       implementation B — B's deviations from A's behaviour surface as
+       replayable mismatches without ever learning a model of B.}} *)
+
+type ('i, 'o) mismatch = {
+  word : 'i list;
+  outputs_a : 'o list;
+  outputs_b : 'o list;
+}
+
+val run :
+  ?max_mismatches:int ->
+  suite:'i list list ->
+  ('i, 'o) Prognosis_sul.Sul.t ->
+  ('i, 'o) Prognosis_sul.Sul.t ->
+  ('i, 'o) mismatch list
+(** Execute every word on both SULs (default: collect at most 10
+    mismatches). *)
+
+val model_guided :
+  ?extra_states:int ->
+  ?max_mismatches:int ->
+  model:('i, 'o) Prognosis_automata.Mealy.t ->
+  ('i, 'o) Prognosis_sul.Sul.t ->
+  ('i, 'o) mismatch list
+(** W-method suite from [model] (treated as implementation A's
+    behaviour), executed against the given SUL (implementation B);
+    [outputs_a] are the model's predictions. *)
+
+val suite_size : ?extra_states:int -> ('i, 'o) Prognosis_automata.Mealy.t -> int
+(** Number of test words {!model_guided} would run. *)

@@ -1,0 +1,95 @@
+module Mealy = Prognosis_automata.Mealy
+
+type ('i, 'o) witness = {
+  word : 'i list;
+  outputs_a : 'o list;
+  outputs_b : 'o list;
+}
+
+let equivalent a b = Mealy.equivalent a b = None
+
+let make_witness a b word =
+  { word; outputs_a = Mealy.run a word; outputs_b = Mealy.run b word }
+
+let first_difference a b =
+  Option.map (make_witness a b) (Mealy.equivalent a b)
+
+(* BFS over the product, collecting one witness per (state-pair, input)
+   whose outputs disagree; exploration continues past disagreements so
+   several divergence sites are sampled. *)
+let differences ~max a b =
+  let n = Mealy.alphabet_size a in
+  if n <> Mealy.alphabet_size b then
+    invalid_arg "Model_diff.differences: different alphabets";
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let found = ref [] in
+  let count = ref 0 in
+  Hashtbl.add seen (Mealy.initial a, Mealy.initial b) ();
+  Queue.add (Mealy.initial a, Mealy.initial b, []) queue;
+  while (not (Queue.is_empty queue)) && !count < max do
+    let sa, sb, path = Queue.pop queue in
+    for i = 0 to n - 1 do
+      if !count < max then begin
+        let sa', oa = Mealy.step_idx a sa i in
+        let sb', ob = Mealy.step_idx b sb i in
+        let word = List.rev ((Mealy.inputs a).(i) :: path) in
+        if oa <> ob then begin
+          found := make_witness a b word :: !found;
+          incr count
+        end;
+        if not (Hashtbl.mem seen (sa', sb')) then begin
+          Hashtbl.add seen (sa', sb') ();
+          Queue.add (sa', sb', (Mealy.inputs a).(i) :: path) queue
+        end
+      end
+    done
+  done;
+  List.rev !found
+
+type ('i, 'o) summary = {
+  states_a : int;
+  states_b : int;
+  transitions_a : int;
+  transitions_b : int;
+  equivalent_ : bool;
+  witnesses : ('i, 'o) witness list;
+}
+
+let summarize ?(max_witnesses = 5) a b =
+  let witnesses = differences ~max:max_witnesses a b in
+  {
+    states_a = Mealy.size a;
+    states_b = Mealy.size b;
+    transitions_a = Mealy.transitions a;
+    transitions_b = Mealy.transitions b;
+    equivalent_ = witnesses = [];
+    witnesses;
+  }
+
+let pp_summary ~input_pp ~output_pp fmt s =
+  Format.fprintf fmt "model A: %d states / %d transitions@\n" s.states_a
+    s.transitions_a;
+  Format.fprintf fmt "model B: %d states / %d transitions@\n" s.states_b
+    s.transitions_b;
+  if s.equivalent_ then Format.fprintf fmt "models are equivalent@\n"
+  else begin
+    Format.fprintf fmt "models differ; %d witness(es):@\n"
+      (List.length s.witnesses);
+    List.iter
+      (fun w ->
+        Format.fprintf fmt "  on %a:@\n    A: %a@\n    B: %a@\n"
+          (Format.pp_print_list
+             ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+             input_pp)
+          w.word
+          (Format.pp_print_list
+             ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+             output_pp)
+          w.outputs_a
+          (Format.pp_print_list
+             ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+             output_pp)
+          w.outputs_b)
+      s.witnesses
+  end

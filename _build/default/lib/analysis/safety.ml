@@ -1,0 +1,119 @@
+module Mealy = Prognosis_automata.Mealy
+module Dfa = Prognosis_automata.Dfa
+
+type ('i, 'o) t = { name : string; monitor : ('i * 'o) Dfa.t }
+
+let name t = t.name
+let of_monitor name monitor = { name; monitor }
+
+let never name bad =
+  of_monitor name
+    (Dfa.make ~size:2 ~initial:0
+       ~delta:(fun s x -> if s = 1 || bad x then 1 else 0)
+       ~accepting:(fun s -> s = 0))
+
+let always name good = never name (fun x -> not (good x))
+
+let after_always name ~trigger ~then_ =
+  (* 0 = waiting for trigger, 1 = triggered, 2 = violated. *)
+  of_monitor name
+    (Dfa.make ~size:3 ~initial:0
+       ~delta:(fun s x ->
+         match s with
+         | 0 -> if trigger x then 1 else 0
+         | 1 -> if then_ x then 1 else 2
+         | _ -> 2)
+       ~accepting:(fun s -> s <> 2))
+
+let respond_within name ~trigger ~response ~within =
+  if within < 1 then invalid_arg "Safety.respond_within: bound must be >= 1";
+  (* 0 = idle; 1..within = steps elapsed since the pending trigger;
+     within+1 = violated. *)
+  of_monitor name
+    (Dfa.make ~size:(within + 2) ~initial:0
+       ~delta:(fun s x ->
+         if s = within + 1 then s
+         else if s = 0 then if trigger x && not (response x) then 1 else 0
+         else if response x then if trigger x then 1 else 0
+         else if s = within then within + 1
+         else s + 1)
+       ~accepting:(fun s -> s <> within + 1))
+
+let conj name props =
+  match props with
+  | [] -> always name (fun _ -> true)
+  | first :: rest ->
+      of_monitor name
+        (List.fold_left (fun acc p -> Dfa.product acc p.monitor) first.monitor rest)
+
+(* BFS over model × monitor; a reachable rejecting monitor state gives
+   the shortest violating word. *)
+let check t model =
+  let n = Mealy.alphabet_size model in
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let start = (Mealy.initial model, Dfa.initial t.monitor) in
+  Hashtbl.add seen start ();
+  Queue.add (fst start, snd start, []) queue;
+  let result = ref None in
+  if not (Dfa.accepting t.monitor (Dfa.initial t.monitor)) then result := Some [];
+  (try
+     while not (Queue.is_empty queue) do
+       let sm, sd, path = Queue.pop queue in
+       for i = 0 to n - 1 do
+         let sym = (Mealy.inputs model).(i) in
+         let sm', o = Mealy.step_idx model sm i in
+         let sd' = Dfa.step t.monitor sd (sym, o) in
+         if not (Dfa.accepting t.monitor sd') then begin
+           result := Some (List.rev (sym :: path));
+           raise Exit
+         end;
+         if not (Hashtbl.mem seen (sm', sd')) then begin
+           Hashtbl.add seen (sm', sd') ();
+           Queue.add (sm', sd', sym :: path) queue
+         end
+       done
+     done
+   with Exit -> ());
+  !result
+
+let check_trace t trace = Dfa.first_violation t.monitor trace
+
+type verdict = Holds | Violated of { index : int; reason : string }
+
+let pp_verdict fmt = function
+  | Holds -> Format.pp_print_string fmt "holds"
+  | Violated { index; reason } ->
+      Format.fprintf fmt "violated at index %d: %s" index reason
+
+let check_pairs f values =
+  let rec loop idx = function
+    | a :: (b :: _ as rest) -> (
+        match f a b with
+        | None -> loop (idx + 1) rest
+        | Some reason -> Violated { index = idx + 1; reason })
+    | [ _ ] | [] -> Holds
+  in
+  loop 0 values
+
+let increases_by ~stride values =
+  check_pairs
+    (fun a b ->
+      if b = a + stride then None
+      else Some (Printf.sprintf "%d follows %d (expected %d)" b a (a + stride)))
+    values
+
+let strictly_increasing values =
+  check_pairs
+    (fun a b ->
+      if b > a then None else Some (Printf.sprintf "%d does not exceed %d" b a))
+    values
+
+let bounded_by ~limit values =
+  let rec loop idx = function
+    | [] -> Holds
+    | v :: rest ->
+        if v <= limit then loop (idx + 1) rest
+        else Violated { index = idx; reason = Printf.sprintf "%d exceeds limit %d" v limit }
+  in
+  loop 0 values

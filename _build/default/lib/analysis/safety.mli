@@ -1,0 +1,68 @@
+(** Temporal safety properties over learned models (paper §5).
+
+    A property is a monitor automaton reading the model's (input,
+    output) transition labels; checking "the traces of the model are a
+    subset of those allowed by the property" reduces to finding a
+    reachable rejecting state of the model × monitor product — decidable
+    and fast for Mealy machines, exactly as the paper notes. Violating
+    input words are returned as replayable counterexamples. *)
+
+type ('i, 'o) t
+
+val name : ('i, 'o) t -> string
+
+val of_monitor : string -> ('i * 'o) Prognosis_automata.Dfa.t -> ('i, 'o) t
+
+val never : string -> (('i * 'o) -> bool) -> ('i, 'o) t
+(** The bad event never occurs on any transition. *)
+
+val always : string -> (('i * 'o) -> bool) -> ('i, 'o) t
+(** Every transition satisfies the predicate. *)
+
+val after_always :
+  string ->
+  trigger:(('i * 'o) -> bool) ->
+  then_:(('i * 'o) -> bool) ->
+  ('i, 'o) t
+(** Once a trigger transition has occurred, every later transition must
+    satisfy [then_] ("after CONNECTION_CLOSE, the server stays
+    silent"). *)
+
+val respond_within :
+  string ->
+  trigger:(('i * 'o) -> bool) ->
+  response:(('i * 'o) -> bool) ->
+  within:int ->
+  ('i, 'o) t
+(** Bounded response — the decidable safety approximation of the
+    liveness properties the paper mentions (§5): after a trigger
+    transition, a response transition must occur within [within] steps.
+    A transition may be both trigger and response (immediate
+    satisfaction). *)
+
+val conj : string -> ('i, 'o) t list -> ('i, 'o) t
+
+val check :
+  ('i, 'o) t -> ('i, 'o) Prognosis_automata.Mealy.t -> 'i list option
+(** [None] when every trace of the model satisfies the property;
+    otherwise a shortest violating input word. *)
+
+val check_trace : ('i, 'o) t -> ('i * 'o) list -> int option
+(** Position of the first violation in a concrete trace, if any (used
+    for the randomized checking of extended machines, where the
+    model-checking problem is undecidable — paper §5). *)
+
+(** {2 Numeric trace properties}
+
+    Properties about concrete quantities (paper §6.2.2's examples:
+    "the sequence number on each newly-issued connection id must
+    increase by 1", "packet numbers are always increasing", "an
+    endpoint must not send data beyond the advertised limit") checked
+    on observed value sequences. *)
+
+type verdict = Holds | Violated of { index : int; reason : string }
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val increases_by : stride:int -> int list -> verdict
+val strictly_increasing : int list -> verdict
+val bounded_by : limit:int -> int list -> verdict

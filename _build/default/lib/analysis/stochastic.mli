@@ -1,0 +1,56 @@
+(** Stochastic output annotation of learned models.
+
+    The paper's future-work section (§8) asks for models of
+    "environment quantities" — probabilities, latencies — beyond what
+    deterministic Mealy machines express. This module provides the
+    first step the Issue-2 analysis already hints at: given a learned
+    skeleton and continued closed-box access to the SUL, estimate an
+    empirical distribution of abstract outputs for each transition by
+    repeated sampling. Deterministic transitions collapse to a single
+    outcome with probability 1; a transition like mvfst's post-close
+    probe surfaces as {RESET ↦ 0.82, NIL ↦ 0.18}.
+
+    Skeletons are learned with the nondeterminism check set to accept
+    majority answers, so the deterministic model exists even when some
+    transitions are stochastic; this pass then quantifies exactly the
+    transitions where the check saw disagreement. *)
+
+type ('i, 'o) transition_stats = {
+  source : int;
+  input : 'i;
+  outcomes : ('o * float) list;  (** probabilities, most likely first *)
+  samples : int;
+}
+
+type ('i, 'o) t
+
+val estimate :
+  ?samples_per_transition:int ->
+  skeleton:('i, 'o) Prognosis_automata.Mealy.t ->
+  sul:('i, 'o) Prognosis_sul.Sul.t ->
+  unit ->
+  ('i, 'o) t
+(** Samples every reachable transition [samples_per_transition] times
+    (default 30): for each state, the state's access word is replayed
+    and one more symbol appended; the final output is tallied.
+    Transition sampling costs |states|·|Σ|·samples queries. *)
+
+val skeleton : ('i, 'o) t -> ('i, 'o) Prognosis_automata.Mealy.t
+val transitions : ('i, 'o) t -> ('i, 'o) transition_stats list
+
+val stochastic_transitions : ('i, 'o) t -> ('i, 'o) transition_stats list
+(** Only the transitions with more than one observed outcome — the
+    quantified nondeterminism report. *)
+
+val probability : ('i, 'o) t -> state:int -> input:'i -> 'o -> float
+(** Estimated probability of a particular output on a transition
+    (0 when never observed). *)
+
+val to_dot :
+  ?name:string ->
+  input_pp:(Format.formatter -> 'i -> unit) ->
+  output_pp:(Format.formatter -> 'o -> unit) ->
+  ('i, 'o) t ->
+  string
+(** Rendering with probability-annotated edges; stochastic edges are
+    highlighted. *)

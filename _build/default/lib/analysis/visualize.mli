@@ -1,0 +1,22 @@
+(** Model visualisation (paper §5): Graphviz renderings of learned
+    models and of the differences between two models, used to explain
+    anomalies to developers. *)
+
+val model_dot :
+  ?name:string ->
+  input_pp:(Format.formatter -> 'i -> unit) ->
+  output_pp:(Format.formatter -> 'o -> unit) ->
+  ('i, 'o) Prognosis_automata.Mealy.t ->
+  string
+
+val diff_dot :
+  ?name:string ->
+  input_pp:(Format.formatter -> 'i -> unit) ->
+  output_pp:(Format.formatter -> 'o -> unit) ->
+  ('i, 'o) Prognosis_automata.Mealy.t ->
+  ('i, 'o) Prognosis_automata.Mealy.t ->
+  string
+(** Renders the product of two models; edges where the outputs disagree
+    are highlighted in red with both outputs on the label. *)
+
+val write_file : path:string -> string -> unit

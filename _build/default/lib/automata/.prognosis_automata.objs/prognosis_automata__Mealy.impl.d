@@ -1,0 +1,1 @@
+lib/automata/mealy.ml: Array Buffer Format Hashtbl List Queue String

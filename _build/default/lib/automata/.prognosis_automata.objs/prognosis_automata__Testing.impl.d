@@ -1,0 +1,1 @@
+lib/automata/testing.ml: Array Hashtbl List Mealy

@@ -1,0 +1,1 @@
+lib/automata/testing.mli: Mealy

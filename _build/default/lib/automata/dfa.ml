@@ -1,0 +1,39 @@
+type 'a t = {
+  size : int;
+  initial : int;
+  delta : int -> 'a -> int;
+  accepting : int -> bool;
+}
+
+let make ~size ~initial ~delta ~accepting =
+  if size <= 0 then invalid_arg "Dfa.make: size must be positive";
+  if initial < 0 || initial >= size then invalid_arg "Dfa.make: bad initial state";
+  { size; initial; delta; accepting }
+
+let size d = d.size
+let initial d = d.initial
+let step d s x = d.delta s x
+let accepting d s = d.accepting s
+
+let first_violation d word =
+  let rec loop s idx = function
+    | [] -> None
+    | x :: rest ->
+        let s' = d.delta s x in
+        if not (d.accepting s') then Some idx else loop s' (idx + 1) rest
+  in
+  if not (d.accepting d.initial) then Some (-1) else loop d.initial 0 word
+
+let accepts d word = first_violation d word = None
+
+let complement d = { d with accepting = (fun s -> not (d.accepting s)) }
+
+let product a b =
+  (* Pair states are encoded as sa * b.size + sb. *)
+  make
+    ~size:(a.size * b.size)
+    ~initial:((a.initial * b.size) + b.initial)
+    ~delta:(fun s x ->
+      let sa = s / b.size and sb = s mod b.size in
+      (a.delta sa x * b.size) + b.delta sb x)
+    ~accepting:(fun s -> a.accepting (s / b.size) && b.accepting (s mod b.size))

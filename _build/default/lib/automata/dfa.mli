@@ -1,0 +1,35 @@
+(** Deterministic automata with functional transitions, used as safety
+    monitors over Mealy-machine traces.
+
+    A monitor reads symbols (typically input/output pairs of a Mealy
+    machine) and moves between integer states; non-accepting states
+    represent property violations. Transition functions are arbitrary
+    OCaml functions, so monitors can match on symbol structure without
+    enumerating an alphabet. *)
+
+type 'a t
+
+val make :
+  size:int ->
+  initial:int ->
+  delta:(int -> 'a -> int) ->
+  accepting:(int -> bool) ->
+  'a t
+
+val size : 'a t -> int
+val initial : 'a t -> int
+val step : 'a t -> int -> 'a -> int
+val accepting : 'a t -> int -> bool
+
+val accepts : 'a t -> 'a list -> bool
+(** True when every prefix of the word stays in accepting states
+    (safety acceptance). *)
+
+val first_violation : 'a t -> 'a list -> int option
+(** Index (0-based) of the first symbol whose consumption leaves the
+    accepting region, if any. *)
+
+val complement : 'a t -> 'a t
+
+val product : 'a t -> 'a t -> 'a t
+(** Conjunction of two safety monitors: accepting iff both are. *)

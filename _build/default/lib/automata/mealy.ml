@@ -1,0 +1,302 @@
+type ('i, 'o) t = {
+  size : int;
+  initial : int;
+  inputs : 'i array;
+  delta : int array array;
+  lambda : 'o array array;
+}
+
+let make ~size ~initial ~inputs ~delta ~lambda =
+  let n_inputs = Array.length inputs in
+  if size <= 0 then invalid_arg "Mealy.make: size must be positive";
+  if initial < 0 || initial >= size then invalid_arg "Mealy.make: bad initial state";
+  if n_inputs = 0 then invalid_arg "Mealy.make: empty alphabet";
+  if Array.length delta <> size || Array.length lambda <> size then
+    invalid_arg "Mealy.make: delta/lambda must have one row per state";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n_inputs then
+        invalid_arg "Mealy.make: delta row width mismatch";
+      Array.iter
+        (fun s ->
+          if s < 0 || s >= size then invalid_arg "Mealy.make: successor out of range")
+        row)
+    delta;
+  Array.iter
+    (fun row ->
+      if Array.length row <> n_inputs then
+        invalid_arg "Mealy.make: lambda row width mismatch")
+    lambda;
+  { size; initial; inputs; delta; lambda }
+
+let of_fun ~size ~initial ~inputs ~step =
+  let n = Array.length inputs in
+  let delta = Array.init size (fun _ -> Array.make n 0) in
+  let lambda =
+    Array.init size (fun s -> Array.init n (fun i -> snd (step s inputs.(i))))
+  in
+  for s = 0 to size - 1 do
+    for i = 0 to n - 1 do
+      delta.(s).(i) <- fst (step s inputs.(i))
+    done
+  done;
+  make ~size ~initial ~inputs ~delta ~lambda
+
+let size m = m.size
+let initial m = m.initial
+let inputs m = m.inputs
+let alphabet_size m = Array.length m.inputs
+let transitions m = m.size * alphabet_size m
+
+let input_index m x =
+  let n = Array.length m.inputs in
+  let rec loop i =
+    if i >= n then raise Not_found
+    else if m.inputs.(i) = x then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let step_idx m s i = (m.delta.(s).(i), m.lambda.(s).(i))
+let step m s x = step_idx m s (input_index m x)
+
+let run_from m s0 word =
+  let rec loop s acc = function
+    | [] -> List.rev acc
+    | x :: rest ->
+        let s', o = step m s x in
+        loop s' (o :: acc) rest
+  in
+  loop s0 [] word
+
+let run m word = run_from m m.initial word
+
+let state_after m word =
+  List.fold_left (fun s x -> fst (step m s x)) m.initial word
+
+let reachable m =
+  let seen = Array.make m.size false in
+  let queue = Queue.create () in
+  seen.(m.initial) <- true;
+  Queue.add m.initial queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    Array.iter
+      (fun s' ->
+        if not seen.(s') then begin
+          seen.(s') <- true;
+          Queue.add s' queue
+        end)
+      m.delta.(s)
+  done;
+  seen
+
+let trim m =
+  let seen = reachable m in
+  let remap = Array.make m.size (-1) in
+  let count = ref 0 in
+  for s = 0 to m.size - 1 do
+    if seen.(s) then begin
+      remap.(s) <- !count;
+      incr count
+    end
+  done;
+  if !count = m.size then m
+  else begin
+    let n = Array.length m.inputs in
+    let delta = Array.init !count (fun _ -> Array.make n 0) in
+    let lambda = Array.init !count (fun _ -> Array.make n m.lambda.(m.initial).(0)) in
+    for s = 0 to m.size - 1 do
+      if seen.(s) then begin
+        let s' = remap.(s) in
+        for i = 0 to n - 1 do
+          delta.(s').(i) <- remap.(m.delta.(s).(i));
+          lambda.(s').(i) <- m.lambda.(s).(i)
+        done
+      end
+    done;
+    make ~size:!count ~initial:remap.(m.initial) ~inputs:m.inputs ~delta ~lambda
+  end
+
+(* Moore-style partition refinement: start from the partition induced by
+   output rows, refine by successor-block signatures until stable. *)
+let minimize m =
+  let m = trim m in
+  let n = Array.length m.inputs in
+  let block = Array.make m.size 0 in
+  (* Initial partition by output row. *)
+  let tbl = Hashtbl.create 16 in
+  let next = ref 0 in
+  for s = 0 to m.size - 1 do
+    let key = Array.to_list m.lambda.(s) in
+    match Hashtbl.find_opt tbl key with
+    | Some b -> block.(s) <- b
+    | None ->
+        Hashtbl.add tbl key !next;
+        block.(s) <- !next;
+        incr next
+  done;
+  let blocks = ref !next in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let tbl = Hashtbl.create 16 in
+    let next = ref 0 in
+    let new_block = Array.make m.size 0 in
+    for s = 0 to m.size - 1 do
+      let key = (block.(s), List.init n (fun i -> block.(m.delta.(s).(i)))) in
+      match Hashtbl.find_opt tbl key with
+      | Some b -> new_block.(s) <- b
+      | None ->
+          Hashtbl.add tbl key !next;
+          new_block.(s) <- !next;
+          incr next
+    done;
+    if !next <> !blocks then begin
+      changed := true;
+      blocks := !next;
+      Array.blit new_block 0 block 0 m.size
+    end
+  done;
+  if !blocks = m.size then m
+  else begin
+    (* One representative per block. *)
+    let rep = Array.make !blocks (-1) in
+    for s = m.size - 1 downto 0 do
+      rep.(block.(s)) <- s
+    done;
+    let delta = Array.init !blocks (fun b -> Array.init n (fun i -> block.(m.delta.(rep.(b)).(i)))) in
+    let lambda = Array.init !blocks (fun b -> Array.copy m.lambda.(rep.(b))) in
+    make ~size:!blocks ~initial:block.(m.initial) ~inputs:m.inputs ~delta ~lambda
+  end
+
+let same_alphabet a b =
+  Array.length a.inputs = Array.length b.inputs
+  && Array.for_all2 (fun x y -> x = y) a.inputs b.inputs
+
+(* BFS over the product machine, returning the first input word that
+   separates outputs. *)
+let equivalent a b =
+  if not (same_alphabet a b) then
+    invalid_arg "Mealy.equivalent: machines have different alphabets";
+  let n = Array.length a.inputs in
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Hashtbl.add seen (a.initial, b.initial) ();
+  Queue.add (a.initial, b.initial, []) queue;
+  let result = ref None in
+  (try
+     while not (Queue.is_empty queue) do
+       let sa, sb, path = Queue.pop queue in
+       for i = 0 to n - 1 do
+         let sa', oa = step_idx a sa i in
+         let sb', ob = step_idx b sb i in
+         if oa <> ob then begin
+           result := Some (List.rev (a.inputs.(i) :: path));
+           raise Exit
+         end;
+         if not (Hashtbl.mem seen (sa', sb')) then begin
+           Hashtbl.add seen (sa', sb') ();
+           Queue.add (sa', sb', a.inputs.(i) :: path) queue
+         end
+       done
+     done
+   with Exit -> ());
+  !result
+
+let access_words m =
+  let words = Array.make m.size [] in
+  let seen = Array.make m.size false in
+  let queue = Queue.create () in
+  seen.(m.initial) <- true;
+  Queue.add m.initial queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    Array.iteri
+      (fun i s' ->
+        if not seen.(s') then begin
+          seen.(s') <- true;
+          words.(s') <- words.(s) @ [ m.inputs.(i) ];
+          Queue.add s' queue
+        end)
+      m.delta.(s)
+  done;
+  words
+
+let distinguishing_word m p q =
+  let n = Array.length m.inputs in
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Hashtbl.add seen (p, q) ();
+  Queue.add (p, q, []) queue;
+  let result = ref None in
+  (try
+     while not (Queue.is_empty queue) do
+       let sp, sq, path = Queue.pop queue in
+       for i = 0 to n - 1 do
+         let sp', op = step_idx m sp i in
+         let sq', oq = step_idx m sq i in
+         if op <> oq then begin
+           result := Some (List.rev (m.inputs.(i) :: path));
+           raise Exit
+         end;
+         if not (Hashtbl.mem seen (sp', sq')) then begin
+           Hashtbl.add seen (sp', sq') ();
+           Queue.add (sp', sq', m.inputs.(i) :: path) queue
+         end
+       done
+     done
+   with Exit -> ());
+  !result
+
+let characterizing_set m =
+  let words = ref [] in
+  let covered p q =
+    List.exists
+      (fun w -> run_from m p w <> run_from m q w)
+      !words
+  in
+  for p = 0 to m.size - 1 do
+    for q = p + 1 to m.size - 1 do
+      if not (covered p q) then
+        match distinguishing_word m p q with
+        | Some w -> words := w :: !words
+        | None -> ()
+    done
+  done;
+  if !words = [] then [ [] ] else !words
+
+let count_words ~alphabet ~max_len =
+  let rec loop k pow acc =
+    if k > max_len then acc else loop (k + 1) (pow * alphabet) (acc + (pow * alphabet))
+  in
+  loop 1 1 0
+
+let to_dot ?(name = "mealy") ~input_pp ~output_pp m =
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.fprintf fmt "digraph %s {@\n  rankdir=LR;@\n  node [shape=circle];@\n" name;
+  Format.fprintf fmt "  __start [shape=none,label=\"\"];@\n  __start -> s%d;@\n" m.initial;
+  let n = Array.length m.inputs in
+  for s = 0 to m.size - 1 do
+    (* Group parallel edges by target state. *)
+    let by_target = Hashtbl.create 4 in
+    for i = 0 to n - 1 do
+      let t = m.delta.(s).(i) in
+      let label =
+        Format.asprintf "%a / %a" input_pp m.inputs.(i) output_pp m.lambda.(s).(i)
+      in
+      let prev = try Hashtbl.find by_target t with Not_found -> [] in
+      Hashtbl.replace by_target t (label :: prev)
+    done;
+    Hashtbl.iter
+      (fun t labels ->
+        let label = String.concat "\\n" (List.rev labels) in
+        Format.fprintf fmt "  s%d -> s%d [label=\"%s\"];@\n" s t label)
+      by_target
+  done;
+  Format.fprintf fmt "}@.";
+  Buffer.contents buf
+
+let map_outputs f m =
+  { m with lambda = Array.map (Array.map f) m.lambda }

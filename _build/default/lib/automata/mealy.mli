@@ -1,0 +1,103 @@
+(** Deterministic, complete Mealy machines.
+
+    States are integers [0 .. size-1]; the input alphabet is an explicit
+    array of symbols. All machines handled by Prognosis are total: every
+    state has a transition for every input symbol. *)
+
+type ('i, 'o) t = private {
+  size : int;  (** number of states *)
+  initial : int;  (** initial state, in [0, size) *)
+  inputs : 'i array;  (** the input alphabet *)
+  delta : int array array;  (** [delta.(s).(i)] = successor state *)
+  lambda : 'o array array;  (** [lambda.(s).(i)] = output symbol *)
+}
+
+val make :
+  size:int ->
+  initial:int ->
+  inputs:'i array ->
+  delta:int array array ->
+  lambda:'o array array ->
+  ('i, 'o) t
+(** Builds a machine, checking that [delta]/[lambda] are [size]×[inputs]
+    matrices and all successors lie in [0, size).
+    @raise Invalid_argument on a malformed machine. *)
+
+val of_fun :
+  size:int ->
+  initial:int ->
+  inputs:'i array ->
+  step:(int -> 'i -> int * 'o) ->
+  ('i, 'o) t
+(** Tabulates [step] over all states and inputs. *)
+
+val size : ('i, 'o) t -> int
+val initial : ('i, 'o) t -> int
+val inputs : ('i, 'o) t -> 'i array
+val alphabet_size : ('i, 'o) t -> int
+
+val transitions : ('i, 'o) t -> int
+(** Total number of transitions, i.e. [size * alphabet_size]. *)
+
+val input_index : ('i, 'o) t -> 'i -> int
+(** Position of a symbol in the input alphabet.
+    @raise Not_found if the symbol is not in the alphabet. *)
+
+val step_idx : ('i, 'o) t -> int -> int -> int * 'o
+(** [step_idx m s i] follows the transition for the [i]-th alphabet
+    symbol from state [s]. *)
+
+val step : ('i, 'o) t -> int -> 'i -> int * 'o
+
+val run : ('i, 'o) t -> 'i list -> 'o list
+(** Output word produced from the initial state. *)
+
+val run_from : ('i, 'o) t -> int -> 'i list -> 'o list
+val state_after : ('i, 'o) t -> 'i list -> int
+
+val reachable : ('i, 'o) t -> bool array
+(** [reachable m] marks states reachable from the initial state. *)
+
+val trim : ('i, 'o) t -> ('i, 'o) t
+(** Restriction to reachable states (initial state preserved). *)
+
+val minimize : ('i, 'o) t -> ('i, 'o) t
+(** Canonical minimal machine (Moore-style partition refinement),
+    restricted to reachable states. *)
+
+val equivalent : ('i, 'o) t -> ('i, 'o) t -> 'i list option
+(** [equivalent a b] is [None] when the machines have the same
+    input/output behaviour, or [Some w] with [w] a shortest-by-BFS input
+    word on which their outputs differ. Both machines must share the
+    same input alphabet (compared by structural equality, order
+    included).
+    @raise Invalid_argument if the alphabets differ. *)
+
+val access_words : ('i, 'o) t -> 'i list array
+(** BFS access word for each state; unreachable states map to the empty
+    word (use {!reachable} to tell them apart from the initial state). *)
+
+val characterizing_set : ('i, 'o) t -> 'i list list
+(** A set of input words separating every pair of inequivalent states
+    (used by W-method test generation). Never empty for machines with
+    more than one state; contains the empty word only as a fallback for
+    one-state machines. *)
+
+val distinguishing_word : ('i, 'o) t -> int -> int -> 'i list option
+(** Shortest input word on which two states of the same machine produce
+    different outputs, if any. *)
+
+val count_words : alphabet:int -> max_len:int -> int
+(** Number of nonempty input words of length ≤ [max_len] over an
+    alphabet of size [alphabet]: Σ_{k=1..max_len} alphabet^k. *)
+
+val to_dot :
+  ?name:string ->
+  input_pp:(Format.formatter -> 'i -> unit) ->
+  output_pp:(Format.formatter -> 'o -> unit) ->
+  ('i, 'o) t ->
+  string
+(** Graphviz rendering. Transitions with identical endpoints are merged
+    into a single multi-line edge label. *)
+
+val map_outputs : ('o -> 'p) -> ('i, 'o) t -> ('i, 'p) t

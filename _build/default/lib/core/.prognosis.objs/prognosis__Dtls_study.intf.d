@@ -1,0 +1,1 @@
+lib/core/dtls_study.mli: Prognosis_automata Prognosis_dtls Prognosis_learner Prognosis_sul Report

@@ -1,0 +1,1 @@
+lib/core/persist.ml: Array Fun Marshal Printf Prognosis_automata Sys

@@ -1,0 +1,1 @@
+lib/core/persist.mli: Prognosis_automata Prognosis_dtls Prognosis_quic Prognosis_tcp

@@ -1,0 +1,1 @@
+lib/core/quic_study.ml: Array Format Int64 List Option Prognosis_analysis Prognosis_automata Prognosis_learner Prognosis_quic Prognosis_sul Prognosis_synthesis Report String

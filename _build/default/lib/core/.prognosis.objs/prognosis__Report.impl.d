@@ -1,0 +1,1 @@
+lib/core/report.ml: Format Prognosis_automata Prognosis_learner

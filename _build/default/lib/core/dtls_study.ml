@@ -1,0 +1,68 @@
+module Rng = Prognosis_sul.Rng
+module Adapter = Prognosis_sul.Adapter
+module Learn = Prognosis_learner.Learn
+module Eq_oracle = Prognosis_learner.Eq_oracle
+module Alphabet = Prognosis_dtls.Dtls_alphabet
+
+type model = (Alphabet.symbol, Alphabet.output) Prognosis_automata.Mealy.t
+
+type result = {
+  model : model;
+  report : Report.t;
+  adapter :
+    ( Alphabet.symbol,
+      Alphabet.output,
+      Prognosis_dtls.Dtls_wire.record_,
+      Prognosis_dtls.Dtls_wire.record_ )
+    Adapter.t;
+  client : Prognosis_dtls.Dtls_client.t;
+}
+
+let algorithm_name = function Learn.L_star -> "L*" | Learn.Ttt_tree -> "TTT"
+
+(* The DTLS handshake needs five correct symbols in a row; random
+   testing practically never finds that path, so the equivalence oracle
+   is seeded with scenario words (the QUIC-Tracker approach) before the
+   conformance and random phases. *)
+let scenarios =
+  Alphabet.
+    [
+      [ Client_hello; Client_hello; Client_key_exchange; Change_cipher_spec; Finished ];
+      [
+        Client_hello; Client_hello; Client_key_exchange; Change_cipher_spec;
+        Finished; App_data; Alert_close; App_data;
+      ];
+      [
+        Client_hello; Client_hello; Client_key_exchange; Change_cipher_spec;
+        Finished; Finished; App_data;
+      ];
+      [ Client_hello; Client_key_exchange; Change_cipher_spec; Finished; App_data ];
+    ]
+
+let learn ?(seed = 1L) ?(algorithm = Learn.Ttt_tree) ?server_config () =
+  let adapter, client = Prognosis_dtls.Dtls_adapter.create ?server_config ~seed () in
+  let sul = Adapter.to_sul adapter in
+  let rng = Rng.create (Int64.add seed 7L) in
+  let eq =
+    Eq_oracle.combine
+      [
+        Eq_oracle.fixed_words scenarios;
+        Eq_oracle.w_method ~extra_states:1 ();
+        Eq_oracle.random_words ~rng ~max_tests:400 ~min_len:1 ~max_len:10;
+      ]
+  in
+  let result = Learn.run ~algorithm ~inputs:Alphabet.all ~sul ~eq () in
+  {
+    model = result.Learn.model;
+    report =
+      Report.of_learn_result ~subject:"dtls" ~algorithm:(algorithm_name algorithm)
+        result;
+    adapter;
+    client;
+  }
+
+let model_dot model =
+  Prognosis_analysis.Visualize.model_dot ~name:"dtls"
+    ~input_pp:(fun fmt s -> Format.pp_print_string fmt (Alphabet.to_string s))
+    ~output_pp:(fun fmt o -> Format.pp_print_string fmt (Alphabet.output_to_string o))
+    model

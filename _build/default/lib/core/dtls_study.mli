@@ -1,0 +1,30 @@
+(** The MiniDTLS study pipeline: the third protocol wired through the
+    identical learning stack — the concrete demonstration of the
+    paper's claim that "different protocols and protocol
+    implementations can easily be swapped without changes to the
+    learning engine" (contribution 1). *)
+
+module Alphabet = Prognosis_dtls.Dtls_alphabet
+
+type model = (Alphabet.symbol, Alphabet.output) Prognosis_automata.Mealy.t
+
+type result = {
+  model : model;
+  report : Report.t;
+  adapter :
+    ( Alphabet.symbol,
+      Alphabet.output,
+      Prognosis_dtls.Dtls_wire.record_,
+      Prognosis_dtls.Dtls_wire.record_ )
+    Prognosis_sul.Adapter.t;
+  client : Prognosis_dtls.Dtls_client.t;
+}
+
+val learn :
+  ?seed:int64 ->
+  ?algorithm:Prognosis_learner.Learn.algorithm ->
+  ?server_config:Prognosis_dtls.Dtls_server.config ->
+  unit ->
+  result
+
+val model_dot : model -> string

@@ -1,0 +1,86 @@
+module Mealy = Prognosis_automata.Mealy
+
+type kind = Tcp_model | Quic_model | Dtls_model | Tcp_client_model
+
+let kind_to_string = function
+  | Tcp_model -> "tcp"
+  | Quic_model -> "quic"
+  | Dtls_model -> "dtls"
+  | Tcp_client_model -> "tcp-client"
+
+let magic = "prognosis-model/1"
+
+(* The payload is the raw Mealy record; private rows are reconstructed
+   through Mealy.make on load so invariants are revalidated. *)
+type ('i, 'o) payload = {
+  size : int;
+  initial : int;
+  inputs : 'i array;
+  delta : int array array;
+  lambda : 'o array array;
+}
+
+let save ~path kind model =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      output_char oc '\n';
+      output_string oc (kind_to_string kind);
+      output_char oc '\n';
+      output_string oc Sys.ocaml_version;
+      output_char oc '\n';
+      let payload =
+        {
+          size = Mealy.size model;
+          initial = Mealy.initial model;
+          inputs = Mealy.inputs model;
+          delta =
+            Array.init (Mealy.size model) (fun s ->
+                Array.init (Mealy.alphabet_size model) (fun i ->
+                    fst (Mealy.step_idx model s i)));
+          lambda =
+            Array.init (Mealy.size model) (fun s ->
+                Array.init (Mealy.alphabet_size model) (fun i ->
+                    snd (Mealy.step_idx model s i)));
+        }
+      in
+      Marshal.to_channel oc payload [])
+
+let load ~path kind =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let read_line_opt () = try Some (input_line ic) with End_of_file -> None in
+          match (read_line_opt (), read_line_opt (), read_line_opt ()) with
+          | Some m, _, _ when m <> magic ->
+              Error (path ^ ": not a prognosis model file")
+          | _, Some k, _ when k <> kind_to_string kind ->
+              Error
+                (Printf.sprintf "%s holds a %s model, expected %s" path k
+                   (kind_to_string kind))
+          | _, _, Some v when v <> Sys.ocaml_version ->
+              Error
+                (Printf.sprintf
+                   "%s was written by OCaml %s; this binary runs %s (re-learn \
+                    and re-save)"
+                   path v Sys.ocaml_version)
+          | Some _, Some _, Some _ -> (
+              match (Marshal.from_channel ic : ('i, 'o) payload) with
+              | exception _ -> Error (path ^ ": corrupt payload")
+              | p ->
+                  (try
+                     Ok
+                       (Mealy.make ~size:p.size ~initial:p.initial
+                          ~inputs:p.inputs ~delta:p.delta ~lambda:p.lambda)
+                   with Invalid_argument msg ->
+                     Error (path ^ ": invalid machine: " ^ msg)))
+          | _ -> Error (path ^ ": truncated header"))
+
+let load_tcp ~path = load ~path Tcp_model
+let load_quic ~path = load ~path Quic_model
+let load_dtls ~path = load ~path Dtls_model

@@ -1,0 +1,47 @@
+(** Persisting learned models.
+
+    Learning a production-scale implementation is the expensive step
+    (the paper's QUIC runs took tens of thousands of queries); analyses
+    are cheap. Saving learned models lets `compare`, `check`, `replay`
+    and `difftest` style workflows reuse them across invocations.
+
+    Models are stored with OCaml's [Marshal] under a magic header that
+    records the payload kind, so a file saved for one protocol cannot
+    be silently loaded as another. The format is a local cache format:
+    it is not portable across OCaml versions or architectures (the
+    header stores enough to fail loudly instead of corrupting). *)
+
+type kind = Tcp_model | Quic_model | Dtls_model | Tcp_client_model
+
+val kind_to_string : kind -> string
+
+val save :
+  path:string -> kind -> ('i, 'o) Prognosis_automata.Mealy.t -> unit
+
+val load :
+  path:string -> kind -> (('i, 'o) Prognosis_automata.Mealy.t, string) result
+(** Fails with a readable message on a missing file, foreign file, kind
+    mismatch or OCaml-version mismatch. The ['i]/['o] types must match
+    what was saved — the [kind] tag is the guard, so only load through
+    the typed wrappers below in application code. *)
+
+val load_tcp :
+  path:string ->
+  ( (Prognosis_tcp.Tcp_alphabet.symbol, Prognosis_tcp.Tcp_alphabet.output)
+    Prognosis_automata.Mealy.t,
+    string )
+  result
+
+val load_quic :
+  path:string ->
+  ( (Prognosis_quic.Quic_alphabet.symbol, Prognosis_quic.Quic_alphabet.output)
+    Prognosis_automata.Mealy.t,
+    string )
+  result
+
+val load_dtls :
+  path:string ->
+  ( (Prognosis_dtls.Dtls_alphabet.symbol, Prognosis_dtls.Dtls_alphabet.output)
+    Prognosis_automata.Mealy.t,
+    string )
+  result

@@ -1,0 +1,65 @@
+module Mealy = Prognosis_automata.Mealy
+module Learn = Prognosis_learner.Learn
+module Oracle = Prognosis_learner.Oracle
+
+type t = {
+  subject : string;
+  algorithm : string;
+  states : int;
+  transitions : int;
+  membership_queries : int;
+  membership_symbols : int;
+  cache_hits : int;
+  equivalence_rounds : int;
+  test_words : int;
+  alphabet : int;
+}
+
+let of_learn_result ~subject ~algorithm (r : ('i, 'o) Learn.result) =
+  {
+    subject;
+    algorithm;
+    states = Mealy.size r.Learn.model;
+    transitions = Mealy.transitions r.Learn.model;
+    membership_queries = r.Learn.stats.Oracle.membership_queries;
+    membership_symbols = r.Learn.stats.Oracle.membership_symbols;
+    cache_hits = r.Learn.cache_hits;
+    equivalence_rounds = r.Learn.rounds;
+    test_words = r.Learn.stats.Oracle.test_words;
+    alphabet = Mealy.alphabet_size r.Learn.model;
+  }
+
+let trace_count t ~max_len = Mealy.count_words ~alphabet:t.alphabet ~max_len
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%s (%s): %d states, %d transitions, %d membership queries (%d symbols, %d \
+     cache hits), %d equivalence rounds, %d test words"
+    t.subject t.algorithm t.states t.transitions t.membership_queries
+    t.membership_symbols t.cache_hits t.equivalence_rounds t.test_words
+
+let header =
+  [
+    "subject";
+    "algorithm";
+    "states";
+    "transitions";
+    "mem queries";
+    "symbols";
+    "cache hits";
+    "eq rounds";
+    "test words";
+  ]
+
+let to_row t =
+  [
+    t.subject;
+    t.algorithm;
+    string_of_int t.states;
+    string_of_int t.transitions;
+    string_of_int t.membership_queries;
+    string_of_int t.membership_symbols;
+    string_of_int t.cache_hits;
+    string_of_int t.equivalence_rounds;
+    string_of_int t.test_words;
+  ]

@@ -1,0 +1,33 @@
+(** Learning reports: the quantities the paper's evaluation tabulates
+    for each case study (§6.1, §6.2.2) — model size, membership-query
+    counts, equivalence rounds — plus the trace-reduction figures
+    derived from the learned model. *)
+
+type t = {
+  subject : string;  (** what was learned, e.g. "tcp" or "quic:mvfst-like" *)
+  algorithm : string;
+  states : int;
+  transitions : int;
+  membership_queries : int;  (** queries that reached the SUL *)
+  membership_symbols : int;
+  cache_hits : int;
+  equivalence_rounds : int;
+  test_words : int;  (** words spent by equivalence testing *)
+  alphabet : int;
+}
+
+val of_learn_result :
+  subject:string ->
+  algorithm:string ->
+  ('i, 'o) Prognosis_learner.Learn.result ->
+  t
+
+val trace_count : t -> max_len:int -> int
+(** Number of input words of length ≤ [max_len] over this alphabet
+    (the exhaustive-exploration cost the paper contrasts with). *)
+
+val pp : Format.formatter -> t -> unit
+val to_row : t -> string list
+
+val header : string list
+(** Column names matching {!to_row}. *)

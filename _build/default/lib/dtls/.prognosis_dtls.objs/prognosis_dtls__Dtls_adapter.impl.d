@@ -1,0 +1,1 @@
+lib/dtls/dtls_adapter.ml: Dtls_alphabet Dtls_client Dtls_server Dtls_wire List Prognosis_sul

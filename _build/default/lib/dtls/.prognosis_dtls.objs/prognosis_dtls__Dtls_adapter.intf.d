@@ -1,0 +1,1 @@
+lib/dtls/dtls_adapter.mli: Dtls_alphabet Dtls_client Dtls_server Dtls_wire Prognosis_sul

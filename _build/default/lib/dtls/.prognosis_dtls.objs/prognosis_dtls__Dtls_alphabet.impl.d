@@ -1,0 +1,1 @@
+lib/dtls/dtls_alphabet.ml: Dtls_wire Format List String

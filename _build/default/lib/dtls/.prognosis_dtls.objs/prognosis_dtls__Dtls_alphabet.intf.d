@@ -1,0 +1,1 @@
+lib/dtls/dtls_alphabet.mli: Dtls_wire Format

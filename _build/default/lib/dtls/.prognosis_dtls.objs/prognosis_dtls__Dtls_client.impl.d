@@ -1,0 +1,1 @@
+lib/dtls/dtls_client.ml: Char Dtls_alphabet Dtls_crypto Dtls_wire List Printf Prognosis_sul String

@@ -1,0 +1,1 @@
+lib/dtls/dtls_client.mli: Dtls_alphabet Dtls_wire Prognosis_sul

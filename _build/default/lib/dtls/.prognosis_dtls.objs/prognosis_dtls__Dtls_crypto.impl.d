@@ -1,0 +1,1 @@
+lib/dtls/dtls_crypto.ml: Char Int64 Option Printf String

@@ -1,0 +1,1 @@
+lib/dtls/dtls_crypto.mli:

@@ -1,0 +1,1 @@
+lib/dtls/dtls_server.ml: Char Dtls_crypto Dtls_wire List Printf Prognosis_sul String

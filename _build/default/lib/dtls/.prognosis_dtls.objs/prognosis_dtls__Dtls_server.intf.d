@@ -1,0 +1,1 @@
+lib/dtls/dtls_server.mli: Prognosis_sul

@@ -1,0 +1,23 @@
+(** The instrumented MiniDTLS reference client: γ for the six abstract
+    symbols under live handshake state (randoms, cookie, premaster,
+    key schedule, epochs, sequence numbers), with the same
+    instrumentation discipline as the TCP/QUIC reference clients. *)
+
+type t
+
+val create : Prognosis_sul.Rng.t -> t
+val reset : t -> unit
+
+val concretize : t -> Dtls_alphabet.symbol -> (string * Dtls_wire.record_) option
+(** [None] when the symbol cannot be realized yet (FINISHED or APP_DATA
+    before keys / the epoch switch). *)
+
+val absorb : t -> string -> Dtls_wire.record_ option
+(** Decode a server record (decrypting epoch-1 records), update state
+    (cookie, server random, epoch switch, closure) and return it;
+    [None] for undecodable data. *)
+
+val handshake_complete : t -> bool
+val closed : t -> bool
+val echoed : t -> string
+(** Application data received from the server, concatenated. *)

@@ -1,0 +1,169 @@
+type content_type =
+  | Change_cipher_spec
+  | Alert
+  | Handshake
+  | Application_data
+
+let content_type_to_string = function
+  | Change_cipher_spec -> "CCS"
+  | Alert -> "ALERT"
+  | Handshake -> "HANDSHAKE"
+  | Application_data -> "APPDATA"
+
+let content_type_byte = function
+  | Change_cipher_spec -> 20
+  | Alert -> 21
+  | Handshake -> 22
+  | Application_data -> 23
+
+let content_type_of_byte = function
+  | 20 -> Some Change_cipher_spec
+  | 21 -> Some Alert
+  | 22 -> Some Handshake
+  | 23 -> Some Application_data
+  | _ -> None
+
+type handshake_type =
+  | Client_hello
+  | Server_hello
+  | Hello_verify_request
+  | Certificate
+  | Server_hello_done
+  | Client_key_exchange
+  | Finished
+
+let handshake_type_to_string = function
+  | Client_hello -> "CLIENT_HELLO"
+  | Server_hello -> "SERVER_HELLO"
+  | Hello_verify_request -> "HELLO_VERIFY_REQUEST"
+  | Certificate -> "CERTIFICATE"
+  | Server_hello_done -> "SERVER_HELLO_DONE"
+  | Client_key_exchange -> "CLIENT_KEY_EXCHANGE"
+  | Finished -> "FINISHED"
+
+let handshake_type_byte = function
+  | Client_hello -> 1
+  | Server_hello -> 2
+  | Hello_verify_request -> 3
+  | Certificate -> 11
+  | Server_hello_done -> 14
+  | Client_key_exchange -> 16
+  | Finished -> 20
+
+let handshake_type_of_byte = function
+  | 1 -> Some Client_hello
+  | 2 -> Some Server_hello
+  | 3 -> Some Hello_verify_request
+  | 11 -> Some Certificate
+  | 14 -> Some Server_hello_done
+  | 16 -> Some Client_key_exchange
+  | 20 -> Some Finished
+  | _ -> None
+
+type handshake = {
+  msg_type : handshake_type;
+  message_seq : int;
+  body : string;
+}
+
+let add_u16 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let add_u24 buf v =
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  add_u16 buf (v land 0xFFFF)
+
+let add_u48 buf v =
+  add_u16 buf ((v lsr 32) land 0xFFFF);
+  add_u16 buf ((v lsr 16) land 0xFFFF);
+  add_u16 buf (v land 0xFFFF)
+
+let get_u16 s off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
+let get_u24 s off = (Char.code s.[off] lsl 16) lor get_u16 s (off + 1)
+let get_u48 s off = (get_u16 s off lsl 32) lor (get_u16 s (off + 2) lsl 16) lor get_u16 s (off + 4)
+
+(* DTLS handshake header: type(1) length(3) message_seq(2)
+   fragment_offset(3) fragment_length(3); fragments are whole. *)
+let encode_handshake h =
+  let buf = Buffer.create (12 + String.length h.body) in
+  Buffer.add_char buf (Char.chr (handshake_type_byte h.msg_type));
+  add_u24 buf (String.length h.body);
+  add_u16 buf h.message_seq;
+  add_u24 buf 0;
+  add_u24 buf (String.length h.body);
+  Buffer.add_string buf h.body;
+  Buffer.contents buf
+
+let decode_handshake s =
+  if String.length s < 12 then Error "handshake message too short"
+  else begin
+    match handshake_type_of_byte (Char.code s.[0]) with
+    | None -> Error "unknown handshake type"
+    | Some msg_type ->
+        let length = get_u24 s 1 in
+        let message_seq = get_u16 s 4 in
+        let frag_offset = get_u24 s 6 in
+        let frag_length = get_u24 s 9 in
+        if frag_offset <> 0 || frag_length <> length then
+          Error "fragmented handshake messages unsupported"
+        else if String.length s < 12 + length then Error "truncated handshake body"
+        else Ok { msg_type; message_seq; body = String.sub s 12 length }
+  end
+
+type record_ = {
+  content : content_type;
+  epoch : int;
+  seq : int;
+  payload : string;
+}
+
+let pp_record fmt r =
+  Format.fprintf fmt "%s(epoch=%d,seq=%d,len=%d)"
+    (content_type_to_string r.content)
+    r.epoch r.seq
+    (String.length r.payload)
+
+let dtls_version = 0xFEFD (* DTLS 1.2 *)
+
+(* Record header: type(1) version(2) epoch(2) seq(6) length(2). *)
+let encode_record ?protect r =
+  let payload =
+    match protect with
+    | Some seal when r.epoch >= 1 -> seal ~epoch:r.epoch ~seq:r.seq r.payload
+    | Some _ | None -> r.payload
+  in
+  let buf = Buffer.create (13 + String.length payload) in
+  Buffer.add_char buf (Char.chr (content_type_byte r.content));
+  add_u16 buf dtls_version;
+  add_u16 buf r.epoch;
+  add_u48 buf r.seq;
+  add_u16 buf (String.length payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let decode_record ?unprotect s =
+  if String.length s < 13 then Error "record too short"
+  else begin
+    match content_type_of_byte (Char.code s.[0]) with
+    | None -> Error "unknown content type"
+    | Some content ->
+        if get_u16 s 1 <> dtls_version then Error "unsupported version"
+        else begin
+          let epoch = get_u16 s 3 in
+          let seq = get_u48 s 5 in
+          let length = get_u16 s 11 in
+          if String.length s < 13 + length then Error "truncated record"
+          else begin
+            let payload = String.sub s 13 length in
+            let payload =
+              match unprotect with
+              | Some open_ when epoch >= 1 -> open_ ~epoch ~seq payload
+              | Some _ | None -> Some payload
+            in
+            match payload with
+            | Some payload -> Ok { content; epoch; seq; payload }
+            | None -> Error "record protection failure"
+          end
+        end
+  end

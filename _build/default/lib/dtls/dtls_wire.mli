@@ -1,0 +1,57 @@
+(** MiniDTLS record and handshake-message codecs.
+
+    A third protocol substrate demonstrating the framework's
+    reusability claim (the paper's intro motivates with SSH/TLS/DTLS,
+    and its related work [21] applies model learning to DTLS). The
+    record layout follows RFC 6347: content type, version, epoch,
+    48-bit sequence number, length; handshake messages carry the DTLS
+    message-sequence/fragmentation header (fragments are always whole
+    here). Epoch-1 records are protected by {!Dtls_crypto}. *)
+
+type content_type =
+  | Change_cipher_spec
+  | Alert
+  | Handshake
+  | Application_data
+
+val content_type_to_string : content_type -> string
+
+type handshake_type =
+  | Client_hello
+  | Server_hello
+  | Hello_verify_request
+  | Certificate
+  | Server_hello_done
+  | Client_key_exchange
+  | Finished
+
+val handshake_type_to_string : handshake_type -> string
+
+type handshake = {
+  msg_type : handshake_type;
+  message_seq : int;
+  body : string;
+}
+
+val encode_handshake : handshake -> string
+val decode_handshake : string -> (handshake, string) result
+
+type record_ = {
+  content : content_type;
+  epoch : int;
+  seq : int;  (** 48-bit record sequence number *)
+  payload : string;  (** plaintext payload (protection is applied at
+                         encode time for epoch >= 1) *)
+}
+
+val pp_record : Format.formatter -> record_ -> unit
+
+val encode_record : ?protect:(epoch:int -> seq:int -> string -> string) -> record_ -> string
+(** [protect] seals the payload (applied when [epoch >= 1]). *)
+
+val decode_record :
+  ?unprotect:(epoch:int -> seq:int -> string -> string option) ->
+  string ->
+  (record_, string) result
+(** [unprotect] opens the payload of epoch >= 1 records; returning
+    [None] makes decoding fail (wrong keys / tampering). *)

@@ -1,0 +1,1 @@
+lib/learner/cache.ml: Hashtbl List Oracle

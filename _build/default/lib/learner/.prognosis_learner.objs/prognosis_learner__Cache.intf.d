@@ -1,0 +1,1 @@
+lib/learner/cache.mli: Oracle

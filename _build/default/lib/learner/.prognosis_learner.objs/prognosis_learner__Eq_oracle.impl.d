@@ -1,0 +1,1 @@
+lib/learner/eq_oracle.ml: Array List Oracle Prognosis_automata Prognosis_sul

@@ -1,0 +1,1 @@
+lib/learner/eq_oracle.mli: Oracle Prognosis_automata Prognosis_sul

@@ -1,0 +1,1 @@
+lib/learner/learn.ml: Cache Logs Lstar Oracle Prognosis_automata Prognosis_sul Ttt

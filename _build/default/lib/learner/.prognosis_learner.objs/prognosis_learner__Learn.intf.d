@@ -1,0 +1,1 @@
+lib/learner/learn.mli: Oracle Prognosis_automata Prognosis_sul

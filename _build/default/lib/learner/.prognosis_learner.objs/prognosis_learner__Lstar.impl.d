@@ -1,0 +1,1 @@
+lib/learner/lstar.ml: Array Hashtbl List Oracle Prognosis_automata

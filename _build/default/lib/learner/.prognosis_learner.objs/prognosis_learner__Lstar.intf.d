@@ -1,0 +1,1 @@
+lib/learner/lstar.mli: Oracle Prognosis_automata

@@ -1,0 +1,1 @@
+lib/learner/oracle.ml: List Prognosis_automata Prognosis_sul

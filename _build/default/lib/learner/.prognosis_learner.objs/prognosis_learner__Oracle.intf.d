@@ -1,0 +1,1 @@
+lib/learner/oracle.mli: Prognosis_automata Prognosis_sul

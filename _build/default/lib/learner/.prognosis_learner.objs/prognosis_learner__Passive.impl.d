@@ -1,0 +1,1 @@
+lib/learner/passive.ml: Array Cache List Prognosis_automata Prognosis_sul Queue

@@ -1,0 +1,1 @@
+lib/learner/passive.mli: Cache Prognosis_automata Prognosis_sul

@@ -1,0 +1,1 @@
+lib/learner/ttt.ml: Array Hashtbl List Oracle Prognosis_automata Queue

@@ -1,0 +1,1 @@
+lib/learner/ttt.mli: Oracle Prognosis_automata

@@ -1,0 +1,1 @@
+lib/learner/wfa.ml: Array Float Hashtbl List Prognosis_automata Prognosis_sul Stdlib

@@ -1,0 +1,1 @@
+lib/learner/wfa.mli: Prognosis_automata Prognosis_sul

@@ -1,0 +1,73 @@
+type ('i, 'o) node = {
+  children : ('i, ('i, 'o) node) Hashtbl.t;
+  mutable output : 'o option; (* output produced on the edge into this node *)
+}
+
+type ('i, 'o) t = {
+  root : ('i, 'o) node;
+  mutable nodes : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let fresh_node () = { children = Hashtbl.create 4; output = None }
+
+let create () = { root = fresh_node (); nodes = 1; hits = 0; misses = 0 }
+
+let insert t word outputs =
+  if List.length word <> List.length outputs then
+    invalid_arg "Cache.insert: word/outputs length mismatch";
+  let rec go node word outputs =
+    match (word, outputs) with
+    | [], [] -> ()
+    | x :: word', o :: outputs' ->
+        let child =
+          match Hashtbl.find_opt node.children x with
+          | Some c ->
+              (match c.output with
+              | Some o' when o' <> o ->
+                  invalid_arg "Cache.insert: conflicting outputs (nondeterministic SUL?)"
+              | Some _ -> ()
+              | None -> c.output <- Some o);
+              c
+          | None ->
+              let c = fresh_node () in
+              c.output <- Some o;
+              Hashtbl.add node.children x c;
+              t.nodes <- t.nodes + 1;
+              c
+        in
+        go child word' outputs'
+    | _ -> assert false
+  in
+  go t.root word outputs
+
+let lookup t word =
+  let rec go node word acc =
+    match word with
+    | [] -> Some (List.rev acc)
+    | x :: word' -> (
+        match Hashtbl.find_opt node.children x with
+        | Some c -> (
+            match c.output with Some o -> go c word' (o :: acc) | None -> None)
+        | None -> None)
+  in
+  go t.root word []
+
+let size t = t.nodes
+let hits t = t.hits
+let misses t = t.misses
+
+let wrap t (mq : ('i, 'o) Oracle.membership) =
+  let ask word =
+    match lookup t word with
+    | Some answer ->
+        t.hits <- t.hits + 1;
+        answer
+    | None ->
+        t.misses <- t.misses + 1;
+        let answer = mq.ask word in
+        insert t word answer;
+        answer
+  in
+  { mq with Oracle.ask }

@@ -1,0 +1,28 @@
+(** Prefix-tree membership-query cache.
+
+    Learner algorithms ask many overlapping queries; because the SUL is
+    reset before each query, the answer to any prefix of a cached word
+    is also known. The cache stores full observed words in a trie and
+    answers any query that is a prefix of a previously executed one
+    without touching the SUL. *)
+
+type ('i, 'o) t
+
+val create : unit -> ('i, 'o) t
+
+val insert : ('i, 'o) t -> 'i list -> 'o list -> unit
+(** Records an executed query and its answer. Conflicting outputs for
+    an already-cached prefix raise [Invalid_argument] — that situation
+    means the SUL answered nondeterministically. *)
+
+val lookup : ('i, 'o) t -> 'i list -> 'o list option
+
+val size : ('i, 'o) t -> int
+(** Number of trie nodes (an upper bound on distinct cached symbols). *)
+
+val hits : ('i, 'o) t -> int
+val misses : ('i, 'o) t -> int
+
+val wrap : ('i, 'o) t -> ('i, 'o) Oracle.membership -> ('i, 'o) Oracle.membership
+(** Caching view of a membership oracle: only cache misses reach the
+    underlying oracle (and are counted in its statistics). *)

@@ -1,0 +1,82 @@
+module Mealy = Prognosis_automata.Mealy
+module Testing = Prognosis_automata.Testing
+module Rng = Prognosis_sul.Rng
+
+let check_word (mq : ('i, 'o) Oracle.membership) h word =
+  if word = [] then None
+  else begin
+    mq.Oracle.stats.test_words <- mq.Oracle.stats.test_words + 1;
+    let sul_out = mq.ask word in
+    let hyp_out = Mealy.run h word in
+    if sul_out <> hyp_out then Some word else None
+  end
+
+let check_suite mq h suite =
+  List.fold_left
+    (fun acc word -> match acc with Some _ -> acc | None -> check_word mq h word)
+    None suite
+
+let random_word rng inputs len =
+  List.init len (fun _ -> inputs.(Rng.int rng (Array.length inputs)))
+
+let random_words ~rng ~max_tests ~min_len ~max_len mq h =
+  let inputs = Mealy.inputs h in
+  let rec loop k =
+    if k = 0 then None
+    else
+      let len = min_len + Rng.int rng (max_len - min_len + 1) in
+      match check_word mq h (random_word rng inputs len) with
+      | Some cex -> Some cex
+      | None -> loop (k - 1)
+  in
+  loop max_tests
+
+let random_walk ~rng ~max_tests ~stop_prob mq h =
+  let inputs = Mealy.inputs h in
+  let rec draw acc =
+    let acc = inputs.(Rng.int rng (Array.length inputs)) :: acc in
+    if Rng.bool rng stop_prob then List.rev acc else draw acc
+  in
+  let rec loop k =
+    if k = 0 then None
+    else
+      match check_word mq h (draw []) with
+      | Some cex -> Some cex
+      | None -> loop (k - 1)
+  in
+  loop max_tests
+
+let w_method ?(extra_states = 0) () mq h =
+  check_suite mq h (Testing.w_method ~extra_states h)
+
+let wp_method ?(extra_states = 0) () mq h =
+  check_suite mq h (Testing.wp_method ~extra_states h)
+
+let fixed_words words mq h = check_suite mq h words
+
+let exhaustive ~max_len mq h =
+  let words = Testing.middle_words (Mealy.inputs h) max_len in
+  check_suite mq h words
+
+let against target _mq h = Mealy.equivalent target h
+
+let combine oracles mq h =
+  List.fold_left
+    (fun acc oracle -> match acc with Some _ -> acc | None -> oracle mq h)
+    None oracles
+
+let shrink (mq : ('i, 'o) Oracle.membership) h cex =
+  let distinguishes word =
+    word <> [] && mq.ask word <> Mealy.run h word
+  in
+  let rec remove_one prefix = function
+    | [] -> None
+    | x :: rest ->
+        let candidate = List.rev_append prefix rest in
+        if distinguishes candidate then Some candidate
+        else remove_one (x :: prefix) rest
+  in
+  let rec loop word =
+    match remove_one [] word with Some shorter -> loop shorter | None -> word
+  in
+  if distinguishes cex then loop cex else cex

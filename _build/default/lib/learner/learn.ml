@@ -1,0 +1,51 @@
+let src = Logs.Src.create "prognosis.learn" ~doc:"Learning driver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type algorithm = L_star | Ttt_tree
+
+type ('i, 'o) result = {
+  model : ('i, 'o) Prognosis_automata.Mealy.t;
+  rounds : int;
+  stats : Oracle.stats;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+let dispatch algorithm ?max_rounds ~inputs ~mq ~eq () =
+  match algorithm with
+  | L_star -> Lstar.learn ?max_rounds ~inputs ~mq ~eq ()
+  | Ttt_tree -> Ttt.learn ?max_rounds ~inputs ~mq ~eq ()
+
+let log_result name (model : ('i, 'o) Prognosis_automata.Mealy.t) rounds
+    (stats : Oracle.stats) =
+  Log.info (fun m ->
+      m "%s: %d states, %d transitions, %d membership queries, %d rounds" name
+        (Prognosis_automata.Mealy.size model)
+        (Prognosis_automata.Mealy.transitions model)
+        stats.Oracle.membership_queries rounds)
+
+let run_mq ?(algorithm = Ttt_tree) ?max_rounds ~inputs ~mq ~eq () =
+  let model, rounds = dispatch algorithm ?max_rounds ~inputs ~mq ~eq () in
+  log_result "run_mq" model rounds mq.Oracle.stats;
+  { model; rounds; stats = mq.Oracle.stats; cache_hits = 0; cache_misses = 0 }
+
+let run ?(algorithm = Ttt_tree) ?max_rounds ?(cache = true) ~inputs ~sul ~eq () =
+  let raw = Oracle.of_sul sul in
+  if cache then begin
+    let c = Cache.create () in
+    let mq = Cache.wrap c raw in
+    let model, rounds = dispatch algorithm ?max_rounds ~inputs ~mq ~eq () in
+    log_result sul.Prognosis_sul.Sul.description model rounds raw.Oracle.stats;
+    {
+      model;
+      rounds;
+      stats = raw.Oracle.stats;
+      cache_hits = Cache.hits c;
+      cache_misses = Cache.misses c;
+    }
+  end
+  else begin
+    let model, rounds = dispatch algorithm ?max_rounds ~inputs ~mq:raw ~eq () in
+    { model; rounds; stats = raw.Oracle.stats; cache_hits = 0; cache_misses = 0 }
+  end

@@ -1,0 +1,38 @@
+(** High-level learning driver: wires a SUL, a caching membership
+    oracle, an equivalence oracle and a learning algorithm into one
+    call, returning the model together with the statistics the paper's
+    evaluation reports (states, transitions, membership queries,
+    rounds). *)
+
+type algorithm = L_star | Ttt_tree
+
+type ('i, 'o) result = {
+  model : ('i, 'o) Prognosis_automata.Mealy.t;
+  rounds : int;  (** equivalence rounds (hypotheses built) *)
+  stats : Oracle.stats;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+val run :
+  ?algorithm:algorithm ->
+  ?max_rounds:int ->
+  ?cache:bool ->
+  inputs:'i array ->
+  sul:('i, 'o) Prognosis_sul.Sul.t ->
+  eq:('i, 'o) Oracle.equivalence ->
+  unit ->
+  ('i, 'o) result
+(** Learns a model of [sul]. Defaults: TTT, caching on, 200 rounds.
+    Statistics count the queries that actually reached the SUL
+    (cache hits are reported separately). *)
+
+val run_mq :
+  ?algorithm:algorithm ->
+  ?max_rounds:int ->
+  inputs:'i array ->
+  mq:('i, 'o) Oracle.membership ->
+  eq:('i, 'o) Oracle.equivalence ->
+  unit ->
+  ('i, 'o) result
+(** Variant taking a prebuilt membership oracle (no extra caching). *)

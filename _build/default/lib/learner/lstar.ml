@@ -1,0 +1,109 @@
+module Mealy = Prognosis_automata.Mealy
+
+type ('i, 'o) state = {
+  inputs : 'i array;
+  mq : ('i, 'o) Oracle.membership;
+  mutable s : 'i list list; (* prefix-closed access words, insertion order *)
+  mutable e : 'i list list; (* suffix-closed, nonempty columns *)
+}
+
+let create ~inputs mq =
+  if Array.length inputs = 0 then invalid_arg "Lstar.create: empty alphabet";
+  { inputs; mq; s = [ [] ]; e = Array.to_list (Array.map (fun a -> [ a ]) inputs) }
+
+(* Output word for the suffix [e] after access word [u]: the last |e|
+   outputs of the full query u·e. *)
+let suffix_output t u e =
+  let answer = t.mq.Oracle.ask (u @ e) in
+  let n = List.length answer and k = List.length e in
+  List.filteri (fun i _ -> i >= n - k) answer
+
+let row t u = List.map (fun e -> suffix_output t u e) t.e
+
+let rows t = List.length t.s
+let columns t = List.length t.e
+
+(* Make the table closed: every one-symbol extension of an S-row must
+   match some S-row; otherwise promote the extension into S. *)
+let close t =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let s_rows = Hashtbl.create 16 in
+    List.iter (fun u -> Hashtbl.replace s_rows (row t u) ()) t.s;
+    let missing =
+      List.concat_map
+        (fun u ->
+          List.filter_map
+            (fun a ->
+              let ua = u @ [ a ] in
+              if List.mem ua t.s then None
+              else if Hashtbl.mem s_rows (row t ua) then None
+              else Some ua)
+            (Array.to_list t.inputs))
+        t.s
+    in
+    match missing with
+    | [] -> ()
+    | ua :: _ ->
+        t.s <- t.s @ [ ua ];
+        progress := true
+  done
+
+let hypothesis t =
+  close t;
+  (* Map each distinct row to a state number; the state of an S-word is
+     the state of its row. *)
+  let row_ids = Hashtbl.create 16 in
+  let reps = ref [] in
+  List.iter
+    (fun u ->
+      let r = row t u in
+      if not (Hashtbl.mem row_ids r) then begin
+        Hashtbl.add row_ids r (Hashtbl.length row_ids);
+        reps := u :: !reps
+      end)
+    t.s;
+  let reps = Array.of_list (List.rev !reps) in
+  let size = Array.length reps in
+  let n = Array.length t.inputs in
+  let state_of u = Hashtbl.find row_ids (row t u) in
+  let delta = Array.init size (fun _ -> Array.make n 0) in
+  let lambda =
+    Array.init size (fun q ->
+        Array.init n (fun i ->
+            match suffix_output t reps.(q) [ t.inputs.(i) ] with
+            | [ o ] -> o
+            | _ -> assert false))
+  in
+  for q = 0 to size - 1 do
+    for i = 0 to n - 1 do
+      delta.(q).(i) <- state_of (reps.(q) @ [ t.inputs.(i) ])
+    done
+  done;
+  Mealy.make ~size ~initial:(state_of []) ~inputs:t.inputs ~delta ~lambda
+
+let refine t cex =
+  (* Shahbaz–Groz: add every nonempty suffix of the counterexample to E. *)
+  let rec suffixes = function
+    | [] -> []
+    | _ :: rest as w -> w :: suffixes rest
+  in
+  List.iter
+    (fun suffix -> if not (List.mem suffix t.e) then t.e <- t.e @ [ suffix ])
+    (suffixes cex)
+
+let learn ?(max_rounds = 100) ~inputs ~mq ~eq () =
+  let t = create ~inputs mq in
+  let rec loop round =
+    if round > max_rounds then failwith "Lstar.learn: max_rounds exceeded";
+    let h = hypothesis t in
+    mq.Oracle.stats.equivalence_queries <-
+      mq.Oracle.stats.equivalence_queries + 1;
+    match eq mq h with
+    | None -> (h, round)
+    | Some cex ->
+        refine t cex;
+        loop (round + 1)
+  in
+  loop 1

@@ -1,0 +1,33 @@
+type stats = {
+  mutable membership_queries : int;
+  mutable membership_symbols : int;
+  mutable equivalence_queries : int;
+  mutable test_words : int;
+}
+
+let fresh_stats () =
+  {
+    membership_queries = 0;
+    membership_symbols = 0;
+    equivalence_queries = 0;
+    test_words = 0;
+  }
+
+type ('i, 'o) membership = { ask : 'i list -> 'o list; stats : stats }
+
+let of_fun ?stats f =
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  let ask word =
+    stats.membership_queries <- stats.membership_queries + 1;
+    stats.membership_symbols <- stats.membership_symbols + List.length word;
+    f word
+  in
+  { ask; stats }
+
+let of_sul ?stats sul = of_fun ?stats (Prognosis_sul.Sul.query sul)
+
+let of_sul_checked ?stats ?(config = Prognosis_sul.Nondet.default) ~pp sul =
+  of_fun ?stats (Prognosis_sul.Nondet.deterministic_query config ~pp sul)
+
+type ('i, 'o) equivalence =
+  ('i, 'o) membership -> ('i, 'o) Prognosis_automata.Mealy.t -> 'i list option

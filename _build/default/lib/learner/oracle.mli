@@ -1,0 +1,41 @@
+(** Query oracles for the Minimally Adequate Teacher framework
+    (paper §4.1).
+
+    A membership oracle answers "if I send this input word, what does
+    the implementation return?"; an equivalence oracle searches for a
+    word on which a hypothesis machine and the implementation disagree.
+    Both carry statistics so experiments can report query counts as the
+    paper does. *)
+
+type stats = {
+  mutable membership_queries : int;
+  mutable membership_symbols : int;
+  mutable equivalence_queries : int;
+  mutable test_words : int;  (** words executed by equivalence testing *)
+}
+
+val fresh_stats : unit -> stats
+
+type ('i, 'o) membership = { ask : 'i list -> 'o list; stats : stats }
+
+val of_fun : ?stats:stats -> ('i list -> 'o list) -> ('i, 'o) membership
+(** Wraps a raw query function, counting queries and symbols. *)
+
+val of_sul : ?stats:stats -> ('i, 'o) Prognosis_sul.Sul.t -> ('i, 'o) membership
+
+val of_sul_checked :
+  ?stats:stats ->
+  ?config:Prognosis_sul.Nondet.config ->
+  pp:('i list -> string) ->
+  ('i, 'o) Prognosis_sul.Sul.t ->
+  ('i, 'o) membership
+(** Membership oracle guarded by the nondeterminism check: every query
+    is executed repeatedly per the config and must reach the agreement
+    threshold.
+    @raise Prognosis_sul.Nondet.Nondeterministic_sul otherwise. *)
+
+type ('i, 'o) equivalence =
+  ('i, 'o) membership -> ('i, 'o) Prognosis_automata.Mealy.t -> 'i list option
+(** [eq mq hypothesis] is [Some w] for a counterexample word [w] on
+    which the SUL (via [mq]) and the hypothesis disagree, or [None] if
+    the heuristic search finds no difference. *)

@@ -1,0 +1,214 @@
+module Mealy = Prognosis_automata.Mealy
+
+type ('i, 'o) cell = { mutable contents : ('i, 'o) contents }
+
+and ('i, 'o) contents =
+  | Leaf of ('i, 'o) leaf
+  | Node of ('i, 'o) node
+
+and ('i, 'o) leaf = { access : 'i list; id : int }
+
+and ('i, 'o) node = {
+  discriminator : 'i list;
+  mutable children : ('o list * ('i, 'o) cell) list;
+}
+
+type ('i, 'o) state = {
+  inputs : 'i array;
+  mq : ('i, 'o) Oracle.membership;
+  root : ('i, 'o) cell;
+  mutable next_id : int;
+  cells : (int, ('i, 'o) cell) Hashtbl.t; (* leaf id -> enclosing cell *)
+  accesses : (int, 'i list) Hashtbl.t;
+}
+
+let create ~inputs mq =
+  if Array.length inputs = 0 then invalid_arg "Ttt.create: empty alphabet";
+  let leaf = { access = []; id = 0 } in
+  let root = { contents = Leaf leaf } in
+  let cells = Hashtbl.create 16 in
+  let accesses = Hashtbl.create 16 in
+  Hashtbl.add cells 0 root;
+  Hashtbl.add accesses 0 [];
+  { inputs; mq; root; next_id = 1; cells; accesses }
+
+let leaves t = t.next_id
+
+(* Outputs produced for the suffix [v] when running u·v from the
+   initial state. *)
+let suffix_output t u v =
+  let answer = t.mq.Oracle.ask (u @ v) in
+  let n = List.length answer and k = List.length v in
+  List.filteri (fun i _ -> i >= n - k) answer
+
+let fresh_leaf t access =
+  let leaf = { access; id = t.next_id } in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.add t.accesses leaf.id access;
+  leaf
+
+(* Sift an access word down the tree to the leaf representing its
+   SUL state, extending the tree with a fresh leaf when the word
+   exhibits a new combination of discriminator outputs. *)
+let rec sift t cell u =
+  match cell.contents with
+  | Leaf l -> l
+  | Node n -> (
+      let out = suffix_output t u n.discriminator in
+      match List.assoc_opt out n.children with
+      | Some child -> sift t child u
+      | None ->
+          let leaf = fresh_leaf t u in
+          let child = { contents = Leaf leaf } in
+          n.children <- (out, child) :: n.children;
+          Hashtbl.add t.cells leaf.id child;
+          leaf)
+
+let hypothesis t =
+  let n = Array.length t.inputs in
+  let transitions : (int, int array * 'o array) Hashtbl.t = Hashtbl.create 16 in
+  let pending = Queue.create () in
+  let initial = (sift t t.root []).id in
+  Queue.add initial pending;
+  let enqueued = Hashtbl.create 16 in
+  Hashtbl.add enqueued initial ();
+  while not (Queue.is_empty pending) do
+    let q = Queue.pop pending in
+    if not (Hashtbl.mem transitions q) then begin
+      let u = Hashtbl.find t.accesses q in
+      let targets = Array.make n 0 in
+      let outputs =
+        Array.init n (fun i ->
+            match suffix_output t u [ t.inputs.(i) ] with
+            | [ o ] -> o
+            | _ -> assert false)
+      in
+      for i = 0 to n - 1 do
+        let target = (sift t t.root (u @ [ t.inputs.(i) ])).id in
+        targets.(i) <- target;
+        if not (Hashtbl.mem enqueued target) then begin
+          Hashtbl.add enqueued target ();
+          Queue.add target pending
+        end
+      done;
+      Hashtbl.replace transitions q (targets, outputs)
+    end
+  done;
+  (* Leaf ids are dense but possibly include leaves unreachable in the
+     current hypothesis; renumber the reachable ones. *)
+  let ids = Hashtbl.fold (fun id _ acc -> id :: acc) transitions [] in
+  let ids = Array.of_list (List.sort compare ids) in
+  let renumber = Hashtbl.create 16 in
+  Array.iteri (fun idx id -> Hashtbl.add renumber id idx) ids;
+  let size = Array.length ids in
+  let delta = Array.init size (fun _ -> Array.make n 0) in
+  let first_outputs = snd (Hashtbl.find transitions ids.(0)) in
+  let lambda = Array.init size (fun _ -> Array.make n first_outputs.(0)) in
+  Array.iteri
+    (fun idx id ->
+      let targets, outputs = Hashtbl.find transitions id in
+      for i = 0 to n - 1 do
+        delta.(idx).(i) <- Hashtbl.find renumber targets.(i);
+        lambda.(idx).(i) <- outputs.(i)
+      done)
+    ids;
+  let machine =
+    Mealy.make ~size ~initial:(Hashtbl.find renumber initial) ~inputs:t.inputs
+      ~delta ~lambda
+  in
+  (machine, fun state_idx -> Hashtbl.find t.accesses ids.(state_idx))
+
+let take k l = List.filteri (fun i _ -> i < k) l
+let drop k l = List.filteri (fun i _ -> i >= k) l
+
+(* Recover the leaf id carrying a given access word. *)
+let find_leaf_id t access =
+  let found = ref (-1) in
+  Hashtbl.iter (fun id a -> if a = access then found := id) t.accesses;
+  assert (!found >= 0);
+  !found
+
+let refine t cex =
+  let h, access_of = hypothesis t in
+  let sul_out = t.mq.Oracle.ask cex in
+  let hyp_out = Mealy.run h cex in
+  if sul_out = hyp_out then false
+  else begin
+    let n = List.length cex in
+    (* phi i = hypothesis outputs on cex[:i] followed by the SUL's
+       outputs for cex[i:] after replaying the access word of the
+       hypothesis state reached on cex[:i]. phi 0 <> phi n, and any
+       adjacent disagreement yields a state to split. *)
+    let memo = Hashtbl.create 8 in
+    let phi i =
+      match Hashtbl.find_opt memo i with
+      | Some v -> v
+      | None ->
+          let prefix = take i cex and suffix = drop i cex in
+          let state = Mealy.state_after h prefix in
+          let v =
+            Mealy.run h prefix @ suffix_output t (access_of state) suffix
+          in
+          Hashtbl.add memo i v;
+          v
+    in
+    let lo = ref 0 and hi = ref n in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if phi mid <> phi !hi then lo := mid else hi := mid
+    done;
+    let i = !lo in
+    let u = take i cex and rest = drop i cex in
+    match rest with
+    | [] -> false
+    | a :: v ->
+        if v = [] then false
+        else begin
+          let q_i = Mealy.state_after h u in
+          let q' = fst (Mealy.step h q_i a) in
+          let old_access = access_of q' in
+          let new_access = access_of q_i @ [ a ] in
+          let out_old = suffix_output t old_access v in
+          let out_new = suffix_output t new_access v in
+          if out_old = out_new then false
+          else begin
+            (* Split the leaf of q': its cell becomes an inner node
+               discriminating with v between the old and the new state. *)
+            let old_leaf =
+              match (Hashtbl.find t.cells (find_leaf_id t old_access)).contents with
+              | Leaf l -> l
+              | Node _ -> assert false
+            in
+            let new_leaf = fresh_leaf t new_access in
+            let cell = Hashtbl.find t.cells old_leaf.id in
+            let old_cell = { contents = Leaf old_leaf } in
+            let new_cell = { contents = Leaf new_leaf } in
+            cell.contents <-
+              Node
+                {
+                  discriminator = v;
+                  children = [ (out_old, old_cell); (out_new, new_cell) ];
+                };
+            Hashtbl.replace t.cells old_leaf.id old_cell;
+            Hashtbl.replace t.cells new_leaf.id new_cell;
+            true
+          end
+        end
+  end
+
+let hypothesis t = fst (hypothesis t)
+
+let learn ?(max_rounds = 200) ~inputs ~mq ~eq () =
+  let t = create ~inputs mq in
+  let rec loop round =
+    if round > max_rounds then failwith "Ttt.learn: max_rounds exceeded";
+    let h = hypothesis t in
+    mq.Oracle.stats.equivalence_queries <-
+      mq.Oracle.stats.equivalence_queries + 1;
+    match eq mq h with
+    | None -> (h, round)
+    | Some cex ->
+        if refine t cex then loop (round + 1)
+        else failwith "Ttt.learn: unusable counterexample (nondeterministic SUL?)"
+  in
+  loop 1

@@ -1,0 +1,278 @@
+module Rng = Prognosis_sul.Rng
+module Mealy = Prognosis_automata.Mealy
+
+type 'a t = {
+  alphabet : 'a array;
+  dim : int;
+  initial : float array;
+  transitions : float array array array;
+  final : float array;
+}
+
+let make ~alphabet ~initial ~transitions ~final =
+  let dim = Array.length initial in
+  if Array.length final <> dim then invalid_arg "Wfa.make: final vector arity";
+  if Array.length transitions <> Array.length alphabet then
+    invalid_arg "Wfa.make: one transition matrix per symbol";
+  Array.iter
+    (fun m ->
+      if Array.length m <> dim || Array.exists (fun r -> Array.length r <> dim) m
+      then invalid_arg "Wfa.make: transition matrix shape")
+    transitions;
+  { alphabet; dim; initial; transitions; final }
+
+let states w = w.dim
+
+let index_of alphabet x =
+  let n = Array.length alphabet in
+  let rec loop i =
+    if i >= n then invalid_arg "Wfa: symbol outside the alphabet"
+    else if alphabet.(i) = x then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let vec_mat v m dim =
+  Array.init dim (fun j ->
+      let acc = ref 0.0 in
+      for i = 0 to dim - 1 do
+        acc := !acc +. (v.(i) *. m.(i).(j))
+      done;
+      !acc)
+
+let dot a b =
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. (x *. b.(i))) a;
+  !acc
+
+let evaluate w word =
+  let v =
+    List.fold_left
+      (fun v x -> vec_mat v w.transitions.(index_of w.alphabet x) w.dim)
+      (Array.copy w.initial) word
+  in
+  dot v w.final
+
+type 'a equivalence = 'a t -> 'a list option
+
+let random_eq ~rng ~mq ~tolerance ~max_tests ~max_len alphabet hypothesis =
+  let n = Array.length alphabet in
+  let rec loop k =
+    if k = 0 then None
+    else begin
+      let len = Rng.int rng (max_len + 1) in
+      let word = List.init len (fun _ -> alphabet.(Rng.int rng n)) in
+      let target = mq word in
+      let predicted = evaluate hypothesis word in
+      let scale = 1.0 +. Float.abs target in
+      if Float.abs (target -. predicted) > tolerance *. scale then Some word
+      else loop (k - 1)
+    end
+  in
+  loop max_tests
+
+(* --- linear algebra: expressing a vector in the span of a row set --- *)
+
+(* Echelonized basis with coefficient tracking: each element is
+   (reduced_row, coeffs, pivot_column) where reduced_row =
+   Σ coeffs_i · original_rows_i and reduced_row.(pivot) is its leading
+   entry. *)
+type basis = {
+  mutable rows : (float array * float array * int) list; (* reverse order *)
+  n_original : int;
+}
+
+let reduce_against basis (row, coeffs) tol =
+  let row = Array.copy row and coeffs = Array.copy coeffs in
+  List.iter
+    (fun (brow, bcoeffs, pivot) ->
+      let factor = row.(pivot) /. brow.(pivot) in
+      if Float.abs factor > 0.0 then begin
+        Array.iteri (fun j v -> row.(j) <- row.(j) -. (factor *. v)) brow;
+        Array.iteri
+          (fun j v -> coeffs.(j) <- coeffs.(j) -. (factor *. v))
+          bcoeffs
+      end)
+    (List.rev basis.rows);
+  let scale =
+    Array.fold_left (fun acc v -> Stdlib.max acc (Float.abs v)) 1.0 row
+  in
+  ignore scale;
+  let pivot = ref (-1) in
+  let best = ref tol in
+  Array.iteri
+    (fun j v ->
+      if Float.abs v > !best then begin
+        best := Float.abs v;
+        pivot := j
+      end)
+    row;
+  (row, coeffs, !pivot)
+
+(* Attempt to express [row] in the current span. For pure membership
+   queries [self] is the zero vector and [Ok coeffs] gives the
+   combination over the original rows; when inserting the i-th original
+   row itself, [self] must be the i-th unit vector so the stored
+   coefficient vector correctly expresses the reduced row in terms of
+   the original rows. *)
+let express ?self basis row tol =
+  let coeffs =
+    match self with
+    | Some c -> Array.copy c
+    | None -> Array.make basis.n_original 0.0
+  in
+  let reduced, out_coeffs, pivot = reduce_against basis (row, coeffs) tol in
+  if pivot < 0 then
+    (* 0 = row + (out_coeffs - self)·rows, i.e. row = -(out_coeffs)·rows
+       when self = 0. *)
+    Ok (Array.map (fun c -> -.c) out_coeffs)
+  else Error (reduced, out_coeffs, pivot)
+
+(* --- the Hankel learner --- *)
+
+let learn ?(tolerance = 1e-6) ?(max_rounds = 100) ~alphabet ~mq ~eq () =
+  let n_sym = Array.length alphabet in
+  if n_sym = 0 then invalid_arg "Wfa.learn: empty alphabet";
+  (* Suffix list (grows); prefix list with their Hankel rows. *)
+  let suffixes = ref [ [] ] in
+  let prefixes = ref [ [] ] in
+  let memo = Hashtbl.create 256 in
+  let f w =
+    match Hashtbl.find_opt memo w with
+    | Some v -> v
+    | None ->
+        let v = mq w in
+        Hashtbl.add memo w v;
+        v
+  in
+  let row_of p = Array.of_list (List.map (fun s -> f (p @ s)) !suffixes) in
+  (* Keep only prefixes with independent rows (ε always first). *)
+  let rebuild_independent () =
+    let kept = ref [] in
+    let basis = { rows = []; n_original = List.length !prefixes } in
+    List.iteri
+      (fun _i p ->
+        let row = row_of p in
+        match express basis row tolerance with
+        | Ok _ -> ()
+        | Error entry ->
+            basis.rows <- entry :: basis.rows;
+            kept := p :: !kept)
+      !prefixes;
+    prefixes := List.rev !kept
+  in
+  let close () =
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let basis = { rows = []; n_original = List.length !prefixes } in
+      List.iter
+        (fun p ->
+          match express basis (row_of p) tolerance with
+          | Ok _ -> () (* cannot happen for independent prefixes *)
+          | Error entry -> basis.rows <- entry :: basis.rows)
+        !prefixes;
+      let additions = ref [] in
+      List.iter
+        (fun p ->
+          Array.iter
+            (fun sym ->
+              let candidate = p @ [ sym ] in
+              if
+                (not (List.mem candidate !prefixes))
+                && not (List.mem candidate !additions)
+              then begin
+                match express basis (row_of candidate) tolerance with
+                | Ok _ -> ()
+                | Error entry ->
+                    basis.rows <- entry :: basis.rows;
+                    additions := candidate :: !additions
+              end)
+            alphabet)
+        !prefixes;
+      if !additions <> [] then begin
+        prefixes := !prefixes @ List.rev !additions;
+        changed := true
+      end
+    done
+  in
+  let build_hypothesis () =
+    let ps = Array.of_list !prefixes in
+    let dim = Array.length ps in
+    let basis = { rows = []; n_original = dim } in
+    Array.iteri
+      (fun i p ->
+        let self = Array.init dim (fun j -> if j = i then 1.0 else 0.0) in
+        match express ~self basis (row_of p) tolerance with
+        | Ok _ -> ()
+        | Error entry -> basis.rows <- entry :: basis.rows)
+      ps;
+    let coeffs_of row =
+      match express basis row tolerance with
+      | Ok c -> Some c
+      | Error _ -> None
+    in
+    let transitions =
+      Array.init n_sym (fun si ->
+          Array.init dim (fun i ->
+              match coeffs_of (row_of (ps.(i) @ [ alphabet.(si) ])) with
+              | Some c -> c
+              | None -> Array.make dim nan))
+    in
+    if
+      Array.exists
+        (fun m -> Array.exists (fun r -> Array.exists Float.is_nan r) m)
+        transitions
+    then None
+    else begin
+      let initial = Array.init dim (fun i -> if ps.(i) = [] then 1.0 else 0.0) in
+      let final = Array.map (fun p -> f p) ps in
+      Some (make ~alphabet ~initial ~transitions ~final)
+    end
+  in
+  let rec loop round =
+    if round > max_rounds then Error "Wfa.learn: max_rounds exceeded"
+    else begin
+      rebuild_independent ();
+      close ();
+      match build_hypothesis () with
+      | None -> Error "Wfa.learn: closing failed (numerical degeneracy?)"
+      | Some hypothesis -> (
+          match eq hypothesis with
+          | None -> Ok hypothesis
+          | Some cex ->
+              let before = (List.length !prefixes, List.length !suffixes) in
+              (* All suffixes of the counterexample join the column set;
+                 all prefixes become row candidates. *)
+              let rec suffixes_of = function
+                | [] -> [ [] ]
+                | _ :: rest as w -> w :: suffixes_of rest
+              in
+              List.iter
+                (fun s -> if not (List.mem s !suffixes) then suffixes := !suffixes @ [ s ])
+                (suffixes_of cex);
+              let rec prefixes_of acc = function
+                | [] -> [ List.rev acc ]
+                | x :: rest -> List.rev acc :: prefixes_of (x :: acc) rest
+              in
+              List.iter
+                (fun p -> if not (List.mem p !prefixes) then prefixes := !prefixes @ [ p ])
+                (prefixes_of [] cex);
+              rebuild_independent ();
+              close ();
+              let after = (List.length !prefixes, List.length !suffixes) in
+              if after = before then
+                Error "Wfa.learn: counterexample produced no progress"
+              else loop (round + 1))
+    end
+  in
+  loop 1
+
+let expected_count ~skeleton ~weight word =
+  let rec walk state acc = function
+    | [] -> acc
+    | x :: rest ->
+        let state', _ = Mealy.step skeleton state x in
+        walk state' (acc +. weight ~state ~input:x) rest
+  in
+  walk (Mealy.initial skeleton) 0.0 word

@@ -1,0 +1,1 @@
+lib/quic/frame.ml: Buffer Char Format List Printf String Varint

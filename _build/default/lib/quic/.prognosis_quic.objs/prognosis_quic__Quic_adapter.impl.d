@@ -1,0 +1,1 @@
+lib/quic/quic_adapter.ml: List Prognosis_sul Quic_alphabet Quic_client Quic_packet Quic_server

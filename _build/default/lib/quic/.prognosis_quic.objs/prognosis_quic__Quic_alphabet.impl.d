@@ -1,0 +1,1 @@
+lib/quic/quic_alphabet.ml: Array Format Frame List Printf Quic_packet String

@@ -1,0 +1,1 @@
+lib/quic/quic_alphabet.mli: Format Frame Quic_packet

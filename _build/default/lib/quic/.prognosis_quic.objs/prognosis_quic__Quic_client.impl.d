@@ -1,0 +1,1 @@
+lib/quic/quic_client.ml: Char Frame List Printf Prognosis_sul Quic_alphabet Quic_crypto Quic_packet String

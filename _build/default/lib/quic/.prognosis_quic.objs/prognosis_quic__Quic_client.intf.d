@@ -1,0 +1,1 @@
+lib/quic/quic_client.mli: Frame Prognosis_sul Quic_alphabet Quic_packet

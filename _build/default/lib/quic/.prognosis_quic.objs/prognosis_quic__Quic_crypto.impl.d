@@ -1,0 +1,1 @@
+lib/quic/quic_crypto.ml: Char Int64 Printf String

@@ -1,0 +1,1 @@
+lib/quic/quic_crypto.mli:

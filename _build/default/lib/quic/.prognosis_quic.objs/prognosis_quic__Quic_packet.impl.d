@@ -1,0 +1,1 @@
+lib/quic/quic_packet.ml: Buffer Char Format Frame Int64 List Printf Quic_crypto String Varint

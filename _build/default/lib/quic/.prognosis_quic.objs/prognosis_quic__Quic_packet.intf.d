@@ -1,0 +1,1 @@
+lib/quic/quic_packet.mli: Format Frame Quic_crypto

@@ -1,0 +1,1 @@
+lib/quic/quic_server.ml: Char Frame Hashtbl List Printf Prognosis_sul Quic_crypto Quic_packet Quic_profile Stdlib String

@@ -1,0 +1,1 @@
+lib/quic/quic_server.mli: Prognosis_sul Quic_profile

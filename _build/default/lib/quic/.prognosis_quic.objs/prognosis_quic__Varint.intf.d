@@ -1,0 +1,1 @@
+lib/quic/varint.mli: Buffer

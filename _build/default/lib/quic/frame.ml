@@ -1,0 +1,350 @@
+type t =
+  | Padding of int
+  | Ping
+  | Ack of { largest : int; delay : int; first_range : int }
+  | Reset_stream of { stream_id : int; error : int; final_size : int }
+  | Stop_sending of { stream_id : int; error : int }
+  | Crypto of { offset : int; data : string }
+  | New_token of string
+  | Stream of { id : int; offset : int; data : string; fin : bool }
+  | Max_data of int
+  | Max_stream_data of { stream_id : int; max : int }
+  | Max_streams of { bidi : bool; max : int }
+  | Data_blocked of int
+  | Stream_data_blocked of { stream_id : int; max : int }
+  | Streams_blocked of { bidi : bool; max : int }
+  | New_connection_id of {
+      seq : int;
+      retire_prior : int;
+      cid : string;
+      reset_token : string;
+    }
+  | Retire_connection_id of int
+  | Path_challenge of string
+  | Path_response of string
+  | Connection_close of { error : int; frame_type : int; reason : string; app : bool }
+  | Handshake_done
+
+type kind =
+  | K_padding
+  | K_ping
+  | K_ack
+  | K_reset_stream
+  | K_stop_sending
+  | K_crypto
+  | K_new_token
+  | K_stream
+  | K_max_data
+  | K_max_stream_data
+  | K_max_streams
+  | K_data_blocked
+  | K_stream_data_blocked
+  | K_streams_blocked
+  | K_new_connection_id
+  | K_retire_connection_id
+  | K_path_challenge
+  | K_path_response
+  | K_connection_close
+  | K_handshake_done
+
+let kind = function
+  | Padding _ -> K_padding
+  | Ping -> K_ping
+  | Ack _ -> K_ack
+  | Reset_stream _ -> K_reset_stream
+  | Stop_sending _ -> K_stop_sending
+  | Crypto _ -> K_crypto
+  | New_token _ -> K_new_token
+  | Stream _ -> K_stream
+  | Max_data _ -> K_max_data
+  | Max_stream_data _ -> K_max_stream_data
+  | Max_streams _ -> K_max_streams
+  | Data_blocked _ -> K_data_blocked
+  | Stream_data_blocked _ -> K_stream_data_blocked
+  | Streams_blocked _ -> K_streams_blocked
+  | New_connection_id _ -> K_new_connection_id
+  | Retire_connection_id _ -> K_retire_connection_id
+  | Path_challenge _ -> K_path_challenge
+  | Path_response _ -> K_path_response
+  | Connection_close _ -> K_connection_close
+  | Handshake_done -> K_handshake_done
+
+let kind_to_string = function
+  | K_padding -> "PADDING"
+  | K_ping -> "PING"
+  | K_ack -> "ACK"
+  | K_reset_stream -> "RESET_STREAM"
+  | K_stop_sending -> "STOP_SENDING"
+  | K_crypto -> "CRYPTO"
+  | K_new_token -> "NEW_TOKEN"
+  | K_stream -> "STREAM"
+  | K_max_data -> "MAX_DATA"
+  | K_max_stream_data -> "MAX_STREAM_DATA"
+  | K_max_streams -> "MAX_STREAMS"
+  | K_data_blocked -> "DATA_BLOCKED"
+  | K_stream_data_blocked -> "STREAM_DATA_BLOCKED"
+  | K_streams_blocked -> "STREAMS_BLOCKED"
+  | K_new_connection_id -> "NEW_CONNECTION_ID"
+  | K_retire_connection_id -> "RETIRE_CONNECTION_ID"
+  | K_path_challenge -> "PATH_CHALLENGE"
+  | K_path_response -> "PATH_RESPONSE"
+  | K_connection_close -> "CONNECTION_CLOSE"
+  | K_handshake_done -> "HANDSHAKE_DONE"
+
+let all_kinds =
+  [
+    K_padding;
+    K_ping;
+    K_ack;
+    K_reset_stream;
+    K_stop_sending;
+    K_crypto;
+    K_new_token;
+    K_stream;
+    K_max_data;
+    K_max_stream_data;
+    K_max_streams;
+    K_data_blocked;
+    K_stream_data_blocked;
+    K_streams_blocked;
+    K_new_connection_id;
+    K_retire_connection_id;
+    K_path_challenge;
+    K_path_response;
+    K_connection_close;
+    K_handshake_done;
+  ]
+
+let pp fmt f =
+  match f with
+  | Padding n -> Format.fprintf fmt "PADDING(%d)" n
+  | Ping -> Format.fprintf fmt "PING"
+  | Ack { largest; _ } -> Format.fprintf fmt "ACK(largest=%d)" largest
+  | Reset_stream { stream_id; _ } -> Format.fprintf fmt "RESET_STREAM(%d)" stream_id
+  | Stop_sending { stream_id; _ } -> Format.fprintf fmt "STOP_SENDING(%d)" stream_id
+  | Crypto { offset; data } ->
+      Format.fprintf fmt "CRYPTO(off=%d,len=%d)" offset (String.length data)
+  | New_token _ -> Format.fprintf fmt "NEW_TOKEN"
+  | Stream { id; offset; data; fin } ->
+      Format.fprintf fmt "STREAM(%d,off=%d,len=%d%s)" id offset (String.length data)
+        (if fin then ",fin" else "")
+  | Max_data v -> Format.fprintf fmt "MAX_DATA(%d)" v
+  | Max_stream_data { stream_id; max } ->
+      Format.fprintf fmt "MAX_STREAM_DATA(%d,%d)" stream_id max
+  | Max_streams { max; _ } -> Format.fprintf fmt "MAX_STREAMS(%d)" max
+  | Data_blocked v -> Format.fprintf fmt "DATA_BLOCKED(%d)" v
+  | Stream_data_blocked { stream_id; max } ->
+      Format.fprintf fmt "STREAM_DATA_BLOCKED(%d,%d)" stream_id max
+  | Streams_blocked { max; _ } -> Format.fprintf fmt "STREAMS_BLOCKED(%d)" max
+  | New_connection_id { seq; _ } -> Format.fprintf fmt "NEW_CONNECTION_ID(seq=%d)" seq
+  | Retire_connection_id seq -> Format.fprintf fmt "RETIRE_CONNECTION_ID(%d)" seq
+  | Path_challenge _ -> Format.fprintf fmt "PATH_CHALLENGE"
+  | Path_response _ -> Format.fprintf fmt "PATH_RESPONSE"
+  | Connection_close { error; _ } -> Format.fprintf fmt "CONNECTION_CLOSE(%d)" error
+  | Handshake_done -> Format.fprintf fmt "HANDSHAKE_DONE"
+
+let is_ack_eliciting f =
+  match kind f with
+  | K_ack | K_padding | K_connection_close -> false
+  | _ -> true
+
+let add_varint = Varint.encode
+
+let add_bytes buf s =
+  add_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let encode buf f =
+  match f with
+  | Padding n ->
+      for _ = 1 to max n 1 do
+        Buffer.add_char buf '\x00'
+      done
+  | Ping -> add_varint buf 0x01
+  | Ack { largest; delay; first_range } ->
+      add_varint buf 0x02;
+      add_varint buf largest;
+      add_varint buf delay;
+      add_varint buf 0 (* range count *);
+      add_varint buf first_range
+  | Reset_stream { stream_id; error; final_size } ->
+      add_varint buf 0x04;
+      add_varint buf stream_id;
+      add_varint buf error;
+      add_varint buf final_size
+  | Stop_sending { stream_id; error } ->
+      add_varint buf 0x05;
+      add_varint buf stream_id;
+      add_varint buf error
+  | Crypto { offset; data } ->
+      add_varint buf 0x06;
+      add_varint buf offset;
+      add_bytes buf data
+  | New_token token ->
+      add_varint buf 0x07;
+      add_bytes buf token
+  | Stream { id; offset; data; fin } ->
+      (* 0x08 base; OFF=0x04, LEN=0x02, FIN=0x01 — always explicit. *)
+      add_varint buf (0x08 lor 0x04 lor 0x02 lor if fin then 0x01 else 0);
+      add_varint buf id;
+      add_varint buf offset;
+      add_bytes buf data
+  | Max_data v ->
+      add_varint buf 0x10;
+      add_varint buf v
+  | Max_stream_data { stream_id; max } ->
+      add_varint buf 0x11;
+      add_varint buf stream_id;
+      add_varint buf max
+  | Max_streams { bidi; max } ->
+      add_varint buf (if bidi then 0x12 else 0x13);
+      add_varint buf max
+  | Data_blocked v ->
+      add_varint buf 0x14;
+      add_varint buf v
+  | Stream_data_blocked { stream_id; max } ->
+      add_varint buf 0x15;
+      add_varint buf stream_id;
+      add_varint buf max
+  | Streams_blocked { bidi; max } ->
+      add_varint buf (if bidi then 0x16 else 0x17);
+      add_varint buf max
+  | New_connection_id { seq; retire_prior; cid; reset_token } ->
+      add_varint buf 0x18;
+      add_varint buf seq;
+      add_varint buf retire_prior;
+      Buffer.add_char buf (Char.chr (String.length cid));
+      Buffer.add_string buf cid;
+      Buffer.add_string buf reset_token (* fixed 16 bytes *)
+  | Retire_connection_id seq ->
+      add_varint buf 0x19;
+      add_varint buf seq
+  | Path_challenge data ->
+      add_varint buf 0x1A;
+      Buffer.add_string buf data (* fixed 8 bytes *)
+  | Path_response data ->
+      add_varint buf 0x1B;
+      Buffer.add_string buf data
+  | Connection_close { error; frame_type; reason; app } ->
+      add_varint buf (if app then 0x1D else 0x1C);
+      add_varint buf error;
+      if not app then add_varint buf frame_type;
+      add_bytes buf reason
+  | Handshake_done -> add_varint buf 0x1E
+
+let encode_all frames =
+  let buf = Buffer.create 256 in
+  List.iter (encode buf) frames;
+  Buffer.contents buf
+
+exception Malformed of string
+
+let decode_all payload =
+  let len = String.length payload in
+  let read_varint off = Varint.decode payload off in
+  let read_fixed off n =
+    if off + n > len then raise (Malformed "truncated fixed field")
+    else (String.sub payload off n, off + n)
+  in
+  let read_bytes off =
+    let n, off = read_varint off in
+    read_fixed off n
+  in
+  let rec loop off acc =
+    if off >= len then List.rev acc
+    else begin
+      let ft, off' = read_varint off in
+      match ft with
+      | 0x00 ->
+          (* Coalesce a run of padding. *)
+          let stop = ref off' in
+          while !stop < len && payload.[!stop] = '\x00' do
+            incr stop
+          done;
+          loop !stop (Padding (!stop - off) :: acc)
+      | 0x01 -> loop off' (Ping :: acc)
+      | 0x02 | 0x03 ->
+          let largest, off' = read_varint off' in
+          let delay, off' = read_varint off' in
+          let count, off' = read_varint off' in
+          if count <> 0 then raise (Malformed "multi-range ACK unsupported");
+          let first_range, off' = read_varint off' in
+          loop off' (Ack { largest; delay; first_range } :: acc)
+      | 0x04 ->
+          let stream_id, off' = read_varint off' in
+          let error, off' = read_varint off' in
+          let final_size, off' = read_varint off' in
+          loop off' (Reset_stream { stream_id; error; final_size } :: acc)
+      | 0x05 ->
+          let stream_id, off' = read_varint off' in
+          let error, off' = read_varint off' in
+          loop off' (Stop_sending { stream_id; error } :: acc)
+      | 0x06 ->
+          let offset, off' = read_varint off' in
+          let data, off' = read_bytes off' in
+          loop off' (Crypto { offset; data } :: acc)
+      | 0x07 ->
+          let token, off' = read_bytes off' in
+          loop off' (New_token token :: acc)
+      | ft when ft >= 0x08 && ft <= 0x0F ->
+          let fin = ft land 0x01 <> 0 in
+          let has_off = ft land 0x04 <> 0 in
+          let has_len = ft land 0x02 <> 0 in
+          let id, off' = read_varint off' in
+          let offset, off' = if has_off then read_varint off' else (0, off') in
+          let data, off' =
+            if has_len then read_bytes off'
+            else read_fixed off' (len - off')
+          in
+          loop off' (Stream { id; offset; data; fin } :: acc)
+      | 0x10 ->
+          let v, off' = read_varint off' in
+          loop off' (Max_data v :: acc)
+      | 0x11 ->
+          let stream_id, off' = read_varint off' in
+          let max, off' = read_varint off' in
+          loop off' (Max_stream_data { stream_id; max } :: acc)
+      | 0x12 | 0x13 ->
+          let max, off' = read_varint off' in
+          loop off' (Max_streams { bidi = ft = 0x12; max } :: acc)
+      | 0x14 ->
+          let v, off' = read_varint off' in
+          loop off' (Data_blocked v :: acc)
+      | 0x15 ->
+          let stream_id, off' = read_varint off' in
+          let max, off' = read_varint off' in
+          loop off' (Stream_data_blocked { stream_id; max } :: acc)
+      | 0x16 | 0x17 ->
+          let max, off' = read_varint off' in
+          loop off' (Streams_blocked { bidi = ft = 0x16; max } :: acc)
+      | 0x18 ->
+          let seq, off' = read_varint off' in
+          let retire_prior, off' = read_varint off' in
+          if off' >= len then raise (Malformed "truncated NCID");
+          let cid_len = Char.code payload.[off'] in
+          let cid, off' = read_fixed (off' + 1) cid_len in
+          let reset_token, off' = read_fixed off' 16 in
+          loop off' (New_connection_id { seq; retire_prior; cid; reset_token } :: acc)
+      | 0x19 ->
+          let seq, off' = read_varint off' in
+          loop off' (Retire_connection_id seq :: acc)
+      | 0x1A ->
+          let data, off' = read_fixed off' 8 in
+          loop off' (Path_challenge data :: acc)
+      | 0x1B ->
+          let data, off' = read_fixed off' 8 in
+          loop off' (Path_response data :: acc)
+      | 0x1C | 0x1D ->
+          let app = ft = 0x1D in
+          let error, off' = read_varint off' in
+          let frame_type, off' = if app then (0, off') else read_varint off' in
+          let reason, off' = read_bytes off' in
+          loop off' (Connection_close { error; frame_type; reason; app } :: acc)
+      | 0x1E -> loop off' (Handshake_done :: acc)
+      | ft -> raise (Malformed (Printf.sprintf "unknown frame type 0x%x" ft))
+    end
+  in
+  match loop 0 [] with
+  | frames -> Ok frames
+  | exception Malformed msg -> Error msg
+  | exception Invalid_argument msg -> Error msg

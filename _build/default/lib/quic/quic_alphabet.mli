@@ -1,0 +1,53 @@
+(** The abstract QUIC alphabet of the paper's §6.2.2: seven input
+    symbols covering connection establishment, handshake completion,
+    data transfer and flow control, plus the abstract view of server
+    responses (packet type + frame kinds, parameters erased). *)
+
+type symbol =
+  | Initial_crypto  (** INITIAL(?,?)[CRYPTO] — ClientHello *)
+  | Initial_ack_hsd  (** INITIAL(?,?)[ACK,HANDSHAKE_DONE] *)
+  | Handshake_ack_crypto  (** HANDSHAKE(?,?)[ACK,CRYPTO] — Finished *)
+  | Handshake_ack_hsd  (** HANDSHAKE(?,?)[ACK,HANDSHAKE_DONE] *)
+  | Short_ack_flow  (** SHORT(?,?)[ACK,MAX_DATA,MAX_STREAM_DATA] *)
+  | Short_ack_stream  (** SHORT(?,?)[ACK,STREAM] — request *)
+  | Short_ack_hsd  (** SHORT(?,?)[ACK,HANDSHAKE_DONE] *)
+  | Short_ack_ping  (** SHORT(?,?)[ACK,PING] — extended alphabet only *)
+  | Short_ack_path_challenge
+      (** SHORT(?,?)[ACK,PATH_CHALLENGE] — extended alphabet only *)
+  | Short_ack_path_response
+      (** SHORT(?,?)[ACK,PATH_RESPONSE] — extended alphabet only. Served
+          from the reference client's reactive queue (the paper's
+          Listing-1 mechanism): a server-initiated PATH_CHALLENGE during
+          connection migration makes the client *queue* its response
+          instead of sending it unrequested (instrumentation property 1);
+          the learner releases it by asking for this symbol. *)
+
+val all : symbol array
+(** The paper's seven symbols (§6.2.2). *)
+
+val extended : symbol array
+(** [all] plus PING and PATH_CHALLENGE probes: used by the
+    alphabet-size ablation. The paper notes that richer alphabets grow
+    learning cost quickly (an alphabet of all packet/frame combinations
+    would exceed 30,000 symbols); this nine-symbol alphabet quantifies
+    the trend. *)
+
+val to_string : symbol -> string
+val pp : Format.formatter -> symbol -> unit
+
+type apacket = { ptype : Quic_packet.ptype; frames : Frame.kind list }
+(** Abstract view of one packet. *)
+
+type output = apacket list
+(** Abstract response: [[]] is NIL (server silent). *)
+
+val apacket_to_string : apacket -> string
+val output_to_string : output -> string
+val pp_output : Format.formatter -> output -> unit
+
+val abstract_packet : Quic_packet.t -> apacket
+(** α on a decoded packet: keep the packet type and the kinds of its
+    frames, dropping PADDING. *)
+
+val abstract_reset : apacket
+(** The abstract view of a detected Stateless Reset. *)

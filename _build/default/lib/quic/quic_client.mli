@@ -1,0 +1,89 @@
+(** The instrumented reference QUIC client (the QUIC-Tracker analogue
+    of the paper, §3.2 and §6.2.2).
+
+    This client owns all the protocol machinery the concretization
+    function γ needs — connection ids, the key schedule, per-space
+    packet numbers, retry tokens, flow-control accounting — and exposes
+    the instrumentation the paper adds to the reference implementation:
+    it only ever sends packets when the learner requests a matching
+    abstract symbol, it abstracts responses, and it can be fully reset.
+    When the current state cannot realize a symbol (e.g. a 1-RTT packet
+    before any keys exist), [concretize] reports it, and the Adapter
+    answers NIL — matching the behaviour of instrumented QUIC-Tracker,
+    which simply cannot emit such a packet.
+
+    Two deliberate defects are reproducible via the config:
+    {ul
+    {- [retry_port_bug] (Issue 3, §6.2.5): the post-Retry Initial is
+       sent from a fresh random UDP port, so address validation fails;}
+    {- [pns_reset_on_retry] (Issue 1, §6.2.3): the client restarts its
+       Initial packet-number space at 0 after a Retry — the behaviour
+       whose handling the RFC left ambiguous.}} *)
+
+type config = { retry_port_bug : bool; pns_reset_on_retry : bool }
+
+val default_config : config
+(** No port bug; packet-number spaces reset on retry. *)
+
+type t
+
+val create : ?config:config -> Prognosis_sul.Rng.t -> t
+val reset : t -> unit
+val port : t -> int
+(** Current UDP source port. *)
+
+val concretize : t -> Quic_alphabet.symbol -> (string * Quic_packet.t) option
+(** γ: build (wire bytes, decoded form) for an abstract symbol under
+    the current connection state; [None] when the state cannot realize
+    the symbol (required keys not yet available). *)
+
+val migrate : t -> unit
+(** Connection migration: move to a fresh UDP source port. A conforming
+    server validates the new path with PATH_CHALLENGE; the instrumented
+    client queues its PATH_RESPONSE (property 1) until the learner
+    requests [Short_ack_path_response]. *)
+
+val queued_frames : t -> int
+(** Reactive frames currently held in the Listing-1 queue. *)
+
+val initiate_key_update : t -> unit
+(** Rotate the client's 1-RTT keys (RFC 9001 §6); the next short-header
+    packet carries the flipped key-phase bit and a conforming server
+    follows. No-op before application keys exist. *)
+
+val key_phase : t -> int
+(** Number of key updates this client's schedule has seen. *)
+
+val send_frames :
+  t -> Quic_packet.ptype -> Frame.t list -> (string * Quic_packet.t) option
+(** Scenario-scripting hook (QUIC-Tracker style): build a packet of the
+    given type carrying arbitrary frames under the current connection
+    state — packet number, keys and connection ids are filled in by the
+    client. [None] when the required keys are unavailable. *)
+
+type absorbed =
+  | Packet of Quic_packet.t
+  | Reset
+  | Junk of string
+
+val absorb : t -> string -> absorbed
+(** Decode a server datagram, update client state (key installation,
+    retry tokens, flow-control and property bookkeeping) and classify
+    it. *)
+
+(** {2 State inspection for analyses and property checks} *)
+
+val handshake_complete : t -> bool
+val connection_closed : t -> bool
+val ncid_sequence_numbers : t -> int list
+(** NEW_CONNECTION_ID sequence numbers observed, in arrival order. *)
+
+val stream_data_blocked_values : t -> int list
+(** Maximum Stream Data field of each observed STREAM_DATA_BLOCKED
+    frame, in arrival order (Issue 4's synthesis target). *)
+
+val received_stream_bytes : t -> int
+val announced_max_stream_data : t -> int
+val flow_violation : t -> bool
+(** True when the server sent stream data beyond the limit the client
+    had announced. *)

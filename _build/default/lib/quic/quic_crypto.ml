@@ -1,0 +1,139 @@
+type level = Initial_level | Handshake_level | Application_level
+
+let level_to_string = function
+  | Initial_level -> "initial"
+  | Handshake_level -> "handshake"
+  | Application_level -> "application"
+
+type direction = Client_to_server | Server_to_client
+
+(* FNV-1a 64-bit, then one splitmix64 finalization round for diffusion. *)
+let hash64 s =
+  let open Int64 in
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := logxor !h (of_int (Char.code c));
+      h := mul !h 0x100000001B3L)
+    s;
+  let z = add !h 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let bytes_of_int64 v =
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * (7 - i))) 0xFFL)))
+
+let derive secret label = bytes_of_int64 (hash64 (secret ^ "/" ^ label))
+
+type secrets = { c2s : string; s2c : string }
+
+type t = {
+  mutable initial : secrets option;
+  mutable handshake : secrets option;
+  mutable application : secrets option;
+  mutable app_phase : int;
+}
+
+let create () =
+  { initial = None; handshake = None; application = None; app_phase = 0 }
+
+let make_secrets base =
+  { c2s = derive base "client"; s2c = derive base "server" }
+
+let install_initial t ~dcid =
+  t.initial <- Some (make_secrets (derive ("initial:" ^ dcid) "base"))
+
+let install_handshake t ~client_random ~server_random =
+  let base = derive ("hs:" ^ client_random ^ ":" ^ server_random) "base" in
+  t.handshake <- Some (make_secrets base);
+  t.application <- Some (make_secrets (derive base "app"))
+
+let slot t = function
+  | Initial_level -> t.initial
+  | Handshake_level -> t.handshake
+  | Application_level -> t.application
+
+let drop_level t = function
+  | Initial_level -> t.initial <- None
+  | Handshake_level -> t.handshake <- None
+  | Application_level -> t.application <- None
+
+let has_level t level = slot t level <> None
+
+let update_application t =
+  match t.application with
+  | None -> ()
+  | Some secrets ->
+      t.application <-
+        Some { c2s = derive secrets.c2s "ku"; s2c = derive secrets.s2c "ku" };
+      t.app_phase <- t.app_phase + 1
+
+let application_phase t = t.app_phase
+
+let key_for secrets = function
+  | Client_to_server -> secrets.c2s
+  | Server_to_client -> secrets.s2c
+
+let tag_length = 8
+
+(* Keystream: splitmix64 seeded from (key, packet number). *)
+let keystream key pn len =
+  let state = ref (hash64 (Printf.sprintf "%s#%d" key pn)) in
+  String.init len (fun i ->
+      if i mod 8 = 0 then begin
+        let open Int64 in
+        let s = add !state 0x9E3779B97F4A7C15L in
+        let z = mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+        state := logxor z (shift_right_logical z 31)
+      end;
+      let shift = 8 * (i mod 8) in
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical !state shift) 0xFFL)))
+
+let xor_with data stream =
+  String.mapi (fun i c -> Char.chr (Char.code c lxor Char.code stream.[i])) data
+
+let auth_tag key ~pn ~header data =
+  bytes_of_int64 (hash64 (Printf.sprintf "%s|%d|%s|%s" key pn header data))
+
+let seal t level direction ~pn ~header plaintext =
+  match slot t level with
+  | None -> None
+  | Some secrets ->
+      let key = key_for secrets direction in
+      let ciphertext = xor_with plaintext (keystream key pn (String.length plaintext)) in
+      Some (ciphertext ^ auth_tag key ~pn ~header plaintext)
+
+let open_ t level direction ~pn ~header sealed =
+  match slot t level with
+  | None -> None
+  | Some secrets ->
+      let n = String.length sealed in
+      if n < tag_length then None
+      else begin
+        let key = key_for secrets direction in
+        let ciphertext = String.sub sealed 0 (n - tag_length) in
+        let tag = String.sub sealed (n - tag_length) tag_length in
+        let plaintext =
+          xor_with ciphertext (keystream key pn (String.length ciphertext))
+        in
+        if auth_tag key ~pn ~header plaintext = tag then Some plaintext else None
+      end
+
+let open_updated_application t direction ~pn ~header sealed =
+  match t.application with
+  | None -> None
+  | Some secrets ->
+      let next =
+        { initial = None;
+          handshake = None;
+          application =
+            Some { c2s = derive secrets.c2s "ku"; s2c = derive secrets.s2c "ku" };
+          app_phase = t.app_phase + 1;
+        }
+      in
+      open_ next Application_level direction ~pn ~header sealed
+
+let stateless_reset_token ~dcid =
+  derive ("srt:" ^ dcid) "token" ^ derive ("srt2:" ^ dcid) "token"

@@ -1,0 +1,79 @@
+(** QUIC packets: the 7 packet types (paper §6.2.1) and their wire
+    codec, including packet protection via {!Quic_crypto}.
+
+    Long-header packets (Initial, 0-RTT, Handshake, Retry, Version
+    Negotiation) follow the RFC 9000 invariants layout; short-header
+    (1-RTT) packets use a fixed 8-byte connection id. Stateless Reset
+    is wire-compatible with a short-header packet and is recognized by
+    its trailing 16-byte token, exactly as in the RFC — a receiver that
+    fails to decrypt checks the token. *)
+
+type ptype =
+  | Initial
+  | Zero_rtt
+  | Handshake
+  | Retry
+  | Version_negotiation
+  | Short
+  | Stateless_reset
+
+val ptype_to_string : ptype -> string
+val all_ptypes : ptype list
+
+val cid_length : int
+(** Fixed connection-id length (8). *)
+
+val draft29 : int
+(** The wire version number used by default (0xff00001d). *)
+
+type t = {
+  ptype : ptype;
+  version : int;
+  dcid : string;
+  scid : string;
+  token : string;  (** Initial (possibly empty) and Retry *)
+  pn : int;  (** packet number; -1 for Retry/VN/Stateless Reset *)
+  frames : Frame.t list;  (** decrypted payload *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+val make :
+  ?version:int ->
+  ?scid:string ->
+  ?token:string ->
+  ?pn:int ->
+  ?frames:Frame.t list ->
+  ptype ->
+  dcid:string ->
+  t
+
+val level : ptype -> Quic_crypto.level option
+(** Encryption level of a packet type; [None] for the unprotected
+    types (Retry, Version Negotiation, Stateless Reset). *)
+
+val encode :
+  crypto:Quic_crypto.t -> sender:Quic_crypto.direction -> t -> string option
+(** Serialize and protect. [None] when the required encryption level
+    has no keys installed (the sender cannot build this packet yet). *)
+
+val encode_stateless_reset : rand:(int -> string) -> token:string -> string
+(** A stateless reset datagram: unpredictable bits followed by the
+    16-byte token ([rand n] must supply [n] random bytes). *)
+
+val retry_integrity_tag : dcid:string -> scid:string -> token:string -> string
+
+type decode_result =
+  | Decoded of t
+  | Reset_detected of string  (** matching stateless-reset token *)
+  | Undecodable of string  (** reason *)
+
+val decode :
+  crypto:Quic_crypto.t ->
+  sender:Quic_crypto.direction ->
+  reset_tokens:string list ->
+  string ->
+  decode_result
+(** Parse and decrypt one datagram. A short-header datagram that fails
+    authentication is checked against [reset_tokens] to detect a
+    stateless reset. *)

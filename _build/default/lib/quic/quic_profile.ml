@@ -1,0 +1,65 @@
+type retry_mode =
+  | No_retry
+  | Retry_tolerant_pns_reset
+  | Retry_abort_on_pns_reset
+
+type t = {
+  name : string;
+  retry : retry_mode;
+  reset_after_close_prob : float;
+  stream_data_blocked_zero : bool;
+  send_new_connection_id : bool;
+  send_new_token : bool;
+  ncid_seq_stride : int;
+  ignore_flow_control : bool;
+  initial_max_data : int;
+  initial_max_stream_data : int;
+  response_body : string;
+}
+
+let base =
+  {
+    name = "base";
+    retry = No_retry;
+    reset_after_close_prob = 1.0;
+    stream_data_blocked_zero = false;
+    send_new_connection_id = false;
+    send_new_token = false;
+    ncid_seq_stride = 1;
+    ignore_flow_control = false;
+    initial_max_data = 1 lsl 20;
+    initial_max_stream_data = 1 lsl 18;
+    response_body = String.concat "" (List.init 8 (fun _ -> "0123456789"));
+  }
+
+let quiche_like = { base with name = "quiche-like" }
+
+let google_like =
+  {
+    base with
+    name = "google-like";
+    retry = Retry_tolerant_pns_reset;
+    stream_data_blocked_zero = true;
+  }
+
+let mvfst_like = { base with name = "mvfst-like"; reset_after_close_prob = 0.82 }
+let strict_retry = { base with name = "strict-retry"; retry = Retry_abort_on_pns_reset }
+
+let ncid_buggy =
+  {
+    base with
+    name = "ncid-buggy";
+    send_new_connection_id = true;
+    ncid_seq_stride = 2;
+  }
+
+let token_issuing = { base with name = "token-issuing"; send_new_token = true }
+
+let flow_violator = { base with name = "flow-violator"; ignore_flow_control = true }
+
+let all =
+  [
+    quiche_like; google_like; mvfst_like; strict_retry; ncid_buggy; token_issuing;
+    flow_violator;
+  ]
+let find name = List.find_opt (fun p -> p.name = name) all

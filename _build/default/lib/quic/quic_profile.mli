@@ -1,0 +1,83 @@
+(** Behaviour profiles for the simulated QUIC server.
+
+    The paper analyzes several vendor implementations of the same
+    specification; the observable differences it reports — divergent
+    post-Retry packet-number-space handling (Issue 1, §6.2.3),
+    probabilistic stateless resets after connection closure (Issue 2,
+    §6.2.4), the constant-zero Maximum Stream Data field (Issue 4,
+    §6.2.6) — are encoded here as configuration of one server engine.
+    Profile names are indicative of which published finding each quirk
+    reproduces; they are not the vendors' code. *)
+
+type retry_mode =
+  | No_retry  (** accept the first Initial directly *)
+  | Retry_tolerant_pns_reset
+      (** demand address validation; accept a client that restarts its
+          Initial packet-number space at 0 after Retry *)
+  | Retry_abort_on_pns_reset
+      (** demand address validation; abort the connection when the
+          post-Retry Initial reuses packet number 0 (the RFC-ambiguity
+          side the spec fix [5] later legitimized as "MAY abort") *)
+
+type t = {
+  name : string;
+  retry : retry_mode;
+  reset_after_close_prob : float;
+      (** probability that a packet arriving on a closed connection is
+          answered with a Stateless Reset: 1.0 and 0.0 are both
+          RFC-compliant (consistent) choices; mvfst's 0.82 is the
+          Issue-2 bug *)
+  stream_data_blocked_zero : bool;
+      (** emit STREAM_DATA_BLOCKED with Maximum Stream Data = 0 instead
+          of the blocked offset (Issue 4) *)
+  send_new_connection_id : bool;
+      (** issue NEW_CONNECTION_ID frames after the handshake *)
+  send_new_token : bool;
+      (** issue a NEW_TOKEN frame after the handshake, letting future
+          connections skip address validation *)
+  ncid_seq_stride : int;
+      (** increment between consecutive NEW_CONNECTION_ID sequence
+          numbers; the spec mandates 1 — used by the property-checking
+          example *)
+  ignore_flow_control : bool;
+      (** send stream data without honouring the client's advertised
+          limits *)
+  initial_max_data : int;  (** server's transport parameter *)
+  initial_max_stream_data : int;
+  response_body : string;  (** application payload served on stream 0 *)
+}
+
+val quiche_like : t
+(** No retry, consistent stateless resets: the baseline compliant
+    server (larger model: retry states unreachable). *)
+
+val google_like : t
+(** Retry with tolerant PNS handling, but STREAM_DATA_BLOCKED carries
+    the constant 0 (Issue 4). *)
+
+val mvfst_like : t
+(** No retry; resets after close fire with probability 0.82 and no
+    back-off (Issue 2, the DoS-capable nondeterminism). *)
+
+val strict_retry : t
+(** Retry with abort-on-PNS-reset: the other side of the Issue-1 RFC
+    ambiguity, producing a structurally smaller model. *)
+
+val ncid_buggy : t
+(** A compliant server except NEW_CONNECTION_ID sequence numbers skip
+    (stride 2), violating the "must increase by 1" property from
+    §6.2.2. *)
+
+val token_issuing : t
+(** A compliant server that also issues NEW_TOKEN frames once the
+    handshake completes. *)
+
+val flow_violator : t
+(** A server that ignores the client's MAX_STREAM_DATA limit and pushes
+    the whole response at once — violating §6.2.2's "an endpoint must
+    not send data on a stream at or beyond the final size / beyond the
+    advertised limit" property, which the reference client's
+    flow-control accounting detects. *)
+
+val all : t list
+val find : string -> t option

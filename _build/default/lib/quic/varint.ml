@@ -1,0 +1,41 @@
+let max_value = (1 lsl 62) - 1
+
+let encoded_length v =
+  if v < 0 || v > max_value then invalid_arg "Varint: value out of range"
+  else if v < 1 lsl 6 then 1
+  else if v < 1 lsl 14 then 2
+  else if v < 1 lsl 30 then 4
+  else 8
+
+let encode buf v =
+  match encoded_length v with
+  | 1 -> Buffer.add_char buf (Char.chr v)
+  | 2 ->
+      Buffer.add_char buf (Char.chr (0x40 lor (v lsr 8)));
+      Buffer.add_char buf (Char.chr (v land 0xFF))
+  | 4 ->
+      Buffer.add_char buf (Char.chr (0x80 lor (v lsr 24)));
+      Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+      Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+      Buffer.add_char buf (Char.chr (v land 0xFF))
+  | _ ->
+      Buffer.add_char buf (Char.chr (0xC0 lor ((v lsr 56) land 0x3F)));
+      for shift = 6 downto 0 do
+        Buffer.add_char buf (Char.chr ((v lsr (shift * 8)) land 0xFF))
+      done
+
+let encode_to_string v =
+  let buf = Buffer.create 8 in
+  encode buf v;
+  Buffer.contents buf
+
+let decode s off =
+  if off >= String.length s then invalid_arg "Varint.decode: out of bounds";
+  let first = Char.code s.[off] in
+  let len = 1 lsl (first lsr 6) in
+  if off + len > String.length s then invalid_arg "Varint.decode: truncated";
+  let v = ref (first land 0x3F) in
+  for i = 1 to len - 1 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  (!v, off + len)

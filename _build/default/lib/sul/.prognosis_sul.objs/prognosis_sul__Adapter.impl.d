@@ -1,0 +1,1 @@
+lib/sul/adapter.ml: List Oracle_table Sul

@@ -1,0 +1,1 @@
+lib/sul/adapter.mli: Oracle_table Sul

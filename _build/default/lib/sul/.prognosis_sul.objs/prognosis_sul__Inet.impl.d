@@ -1,0 +1,1 @@
+lib/sul/inet.ml: Bytes Char String

@@ -1,0 +1,1 @@
+lib/sul/inet.mli:

@@ -1,0 +1,1 @@
+lib/sul/network.ml: Bytes Char Rng String

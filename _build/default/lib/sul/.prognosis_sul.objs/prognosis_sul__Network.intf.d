@@ -1,0 +1,1 @@
+lib/sul/network.mli: Rng

@@ -1,0 +1,1 @@
+lib/sul/nondet.ml: Hashtbl List Printf Sul

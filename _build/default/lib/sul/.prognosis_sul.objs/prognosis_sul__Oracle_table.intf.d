@@ -1,0 +1,1 @@
+lib/sul/oracle_table.mli:

@@ -1,0 +1,1 @@
+lib/sul/rng.ml: Char Int64 String

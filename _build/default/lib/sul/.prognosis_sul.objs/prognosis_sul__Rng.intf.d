@@ -1,0 +1,1 @@
+lib/sul/rng.mli:

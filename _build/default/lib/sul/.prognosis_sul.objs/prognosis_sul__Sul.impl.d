@@ -1,0 +1,1 @@
+lib/sul/sul.ml: List Prognosis_automata

@@ -1,0 +1,1 @@
+lib/sul/sul.mli: Prognosis_automata

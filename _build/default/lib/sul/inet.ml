@@ -1,0 +1,150 @@
+let set_u16 b off v =
+  Bytes.set b off (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b (off + 1) (Char.chr (v land 0xFF))
+
+let set_u32 b off v =
+  set_u16 b off ((v lsr 16) land 0xFFFF);
+  set_u16 b (off + 2) (v land 0xFFFF)
+
+let get_u16 s off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
+let get_u32 s off = (get_u16 s off lsl 16) lor get_u16 s (off + 2)
+
+(* RFC 1071 ones-complement checksum. *)
+let checksum data =
+  let len = String.length data in
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < len do
+    sum := !sum + (Char.code data.[!i] lsl 8) + Char.code data.[!i + 1];
+    i := !i + 2
+  done;
+  if !i < len then sum := !sum + (Char.code data.[!i] lsl 8);
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xFFFF
+
+module Ipv4 = struct
+  type t = { src : int; dst : int; ttl : int; protocol : int; payload : string }
+
+  let tcp_protocol = 6
+  let udp_protocol = 17
+  let header_len = 20
+
+  let encode t =
+    let total = header_len + String.length t.payload in
+    if total > 0xFFFF then invalid_arg "Ipv4.encode: payload too large";
+    let b = Bytes.make total '\000' in
+    Bytes.set b 0 (Char.chr 0x45) (* version 4, IHL 5 *);
+    set_u16 b 2 total;
+    Bytes.set b 8 (Char.chr (t.ttl land 0xFF));
+    Bytes.set b 9 (Char.chr (t.protocol land 0xFF));
+    set_u32 b 12 t.src;
+    set_u32 b 16 t.dst;
+    set_u16 b 10 (checksum (Bytes.sub_string b 0 header_len));
+    Bytes.blit_string t.payload 0 b header_len (String.length t.payload);
+    Bytes.to_string b
+
+  let decode data =
+    if String.length data < header_len then Error "ipv4: too short"
+    else if Char.code data.[0] <> 0x45 then Error "ipv4: not v4/IHL5"
+    else begin
+      let total = get_u16 data 2 in
+      if total > String.length data then Error "ipv4: truncated"
+      else begin
+        let hdr = Bytes.of_string (String.sub data 0 header_len) in
+        let received = get_u16 data 10 in
+        set_u16 hdr 10 0;
+        if checksum (Bytes.to_string hdr) <> received then
+          Error "ipv4: bad header checksum"
+        else
+          Ok
+            {
+              src = get_u32 data 12;
+              dst = get_u32 data 16;
+              ttl = Char.code data.[8];
+              protocol = Char.code data.[9];
+              payload = String.sub data header_len (total - header_len);
+            }
+      end
+    end
+end
+
+module Udp = struct
+  type t = { src_port : int; dst_port : int; payload : string }
+
+  let header_len = 8
+
+  let pseudo_header ~src_ip ~dst_ip ~length =
+    let b = Bytes.make 12 '\000' in
+    set_u32 b 0 src_ip;
+    set_u32 b 4 dst_ip;
+    Bytes.set b 9 (Char.chr Ipv4.udp_protocol);
+    set_u16 b 10 length;
+    Bytes.to_string b
+
+  let encode ~src_ip ~dst_ip t =
+    let total = header_len + String.length t.payload in
+    let b = Bytes.make total '\000' in
+    set_u16 b 0 t.src_port;
+    set_u16 b 2 t.dst_port;
+    set_u16 b 4 total;
+    Bytes.blit_string t.payload 0 b header_len (String.length t.payload);
+    let sum =
+      checksum (pseudo_header ~src_ip ~dst_ip ~length:total ^ Bytes.to_string b)
+    in
+    set_u16 b 6 (if sum = 0 then 0xFFFF else sum);
+    Bytes.to_string b
+
+  let decode ~src_ip ~dst_ip data =
+    if String.length data < header_len then Error "udp: too short"
+    else begin
+      let total = get_u16 data 4 in
+      if total > String.length data || total < header_len then
+        Error "udp: bad length"
+      else begin
+        let zeroed = Bytes.of_string (String.sub data 0 total) in
+        let received = get_u16 data 6 in
+        set_u16 zeroed 6 0;
+        let sum =
+          checksum
+            (pseudo_header ~src_ip ~dst_ip ~length:total ^ Bytes.to_string zeroed)
+        in
+        let sum = if sum = 0 then 0xFFFF else sum in
+        if received <> 0 && sum <> received then Error "udp: bad checksum"
+        else
+          Ok
+            {
+              src_port = get_u16 data 0;
+              dst_port = get_u16 data 2;
+              payload = String.sub data header_len (total - header_len);
+            }
+      end
+    end
+end
+
+let wrap_tcp ~src ~dst payload =
+  Ipv4.encode
+    { Ipv4.src; dst; ttl = 64; protocol = Ipv4.tcp_protocol; payload }
+
+let unwrap_tcp data =
+  match Ipv4.decode data with
+  | Error e -> Error e
+  | Ok ip ->
+      if ip.Ipv4.protocol <> Ipv4.tcp_protocol then Error "ipv4: not TCP"
+      else Ok ip.Ipv4.payload
+
+let wrap_udp ~src ~dst ~src_port ~dst_port payload =
+  let udp = Udp.encode ~src_ip:src ~dst_ip:dst { Udp.src_port; dst_port; payload } in
+  Ipv4.encode { Ipv4.src; dst; ttl = 64; protocol = Ipv4.udp_protocol; payload = udp }
+
+let unwrap_udp data =
+  match Ipv4.decode data with
+  | Error e -> Error e
+  | Ok ip ->
+      if ip.Ipv4.protocol <> Ipv4.udp_protocol then Error "ipv4: not UDP"
+      else begin
+        match Udp.decode ~src_ip:ip.Ipv4.src ~dst_ip:ip.Ipv4.dst ip.Ipv4.payload with
+        | Error e -> Error e
+        | Ok udp -> Ok (udp.Udp.src_port, udp.Udp.payload)
+      end

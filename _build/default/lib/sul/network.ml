@@ -1,0 +1,43 @@
+type config = { loss : float; duplicate : float; corrupt : float }
+
+let reliable = { loss = 0.0; duplicate = 0.0; corrupt = 0.0 }
+let lossy p = { reliable with loss = p }
+
+type t = {
+  mutable cfg : config;
+  rng : Rng.t;
+  mutable transmitted : int;
+  mutable dropped : int;
+}
+
+let create ?(config = reliable) rng =
+  { cfg = config; rng; transmitted = 0; dropped = 0 }
+
+let config t = t.cfg
+let set_config t cfg = t.cfg <- cfg
+
+let corrupt_byte rng payload =
+  if String.length payload = 0 then payload
+  else begin
+    let pos = Rng.int rng (String.length payload) in
+    let bit = Rng.int rng 8 in
+    let b = Bytes.of_string payload in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+    Bytes.to_string b
+  end
+
+let transmit t payload =
+  t.transmitted <- t.transmitted + 1;
+  if Rng.bool t.rng t.cfg.loss then begin
+    t.dropped <- t.dropped + 1;
+    []
+  end
+  else begin
+    let payload =
+      if Rng.bool t.rng t.cfg.corrupt then corrupt_byte t.rng payload else payload
+    in
+    if Rng.bool t.rng t.cfg.duplicate then [ payload; payload ] else [ payload ]
+  end
+
+let transmitted t = t.transmitted
+let dropped t = t.dropped

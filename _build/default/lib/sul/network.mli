@@ -1,0 +1,32 @@
+(** Simulated datagram channel between the Adapter and an
+    Implementation.
+
+    The paper runs over real sockets where latency and loss introduce
+    environmental nondeterminism that the nondeterminism check must
+    filter out; this channel reproduces those effects deterministically
+    from a seed so tests and benches can inject faults on demand. *)
+
+type config = {
+  loss : float;  (** probability a datagram is dropped *)
+  duplicate : float;  (** probability a datagram is delivered twice *)
+  corrupt : float;  (** probability one byte of the payload is flipped *)
+}
+
+val reliable : config
+(** No loss, no duplication, no corruption. *)
+
+val lossy : float -> config
+(** [lossy p]: datagrams dropped with probability [p]. *)
+
+type t
+
+val create : ?config:config -> Rng.t -> t
+val config : t -> config
+val set_config : t -> config -> unit
+
+val transmit : t -> string -> string list
+(** Deliveries for one datagram: [] when lost, one element normally,
+    two when duplicated; payload possibly corrupted. *)
+
+val transmitted : t -> int
+val dropped : t -> int

@@ -1,0 +1,109 @@
+type config = { min_runs : int; max_runs : int; agreement : float }
+
+let default = { min_runs = 3; max_runs = 50; agreement = 0.95 }
+
+type 'o observation = { answer : 'o list; count : int }
+
+type 'o verdict =
+  | Deterministic of 'o list
+  | Nondeterministic of 'o observation list
+
+let tally answers =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      let n = try Hashtbl.find tbl a with Not_found -> 0 in
+      Hashtbl.replace tbl a (n + 1))
+    answers;
+  let obs = Hashtbl.fold (fun answer count acc -> { answer; count } :: acc) tbl [] in
+  List.sort (fun a b -> compare b.count a.count) obs
+
+let query cfg sul word =
+  if cfg.min_runs < 1 then invalid_arg "Nondet.query: min_runs must be >= 1";
+  let answers = ref [] in
+  let run () = answers := Sul.query sul word :: !answers in
+  for _ = 1 to cfg.min_runs do
+    run ()
+  done;
+  let all_equal l =
+    match l with [] -> true | x :: rest -> List.for_all (( = ) x) rest
+  in
+  if all_equal !answers then Deterministic (List.hd !answers)
+  else begin
+    while List.length !answers < cfg.max_runs do
+      run ()
+    done;
+    let obs = tally !answers in
+    let total = List.length !answers in
+    match obs with
+    | best :: _ when float_of_int best.count /. float_of_int total >= cfg.agreement ->
+        Deterministic best.answer
+    | _ -> Nondeterministic obs
+  end
+
+let distribution ~runs sul word =
+  let answers = List.init runs (fun _ -> Sul.query sul word) in
+  tally answers
+
+let frequency obs pred =
+  let total = List.fold_left (fun n o -> n + o.count) 0 obs in
+  let hits =
+    List.fold_left (fun n o -> if pred o.answer then n + o.count else n) 0 obs
+  in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+
+exception Nondeterministic_sul of string
+
+let deterministic_query cfg ~pp sul word =
+  match query cfg sul word with
+  | Deterministic answer -> answer
+  | Nondeterministic obs ->
+      let variants = List.length obs in
+      raise
+        (Nondeterministic_sul
+           (Printf.sprintf "query %s produced %d distinct answers" (pp word) variants))
+
+let plurality_query ~runs sul word =
+  if runs < 1 then invalid_arg "Nondet.plurality_query: runs must be >= 1";
+  let answers = List.init runs (fun _ -> Sul.query sul word) in
+  match tally answers with
+  | best :: _ -> best.answer
+  | [] -> assert false
+
+let modal_oracle ~runs sul =
+  if runs < 1 then invalid_arg "Nondet.modal_oracle: runs must be >= 1";
+  let memo = Hashtbl.create 64 in
+  let rec answer word =
+    match Hashtbl.find_opt memo word with
+    | Some a -> a
+    | None ->
+        let a =
+          match List.rev word with
+          | [] -> []
+          | _last_sym :: rev_prefix ->
+              let prefix_answer = answer (List.rev rev_prefix) in
+              (* Plurality of the final output over fresh runs. *)
+              let tally = Hashtbl.create 4 in
+              for _ = 1 to runs do
+                match List.rev (Sul.query sul word) with
+                | last :: _ ->
+                    let n = try Hashtbl.find tally last with Not_found -> 0 in
+                    Hashtbl.replace tally last (n + 1)
+                | [] -> ()
+              done;
+              let best =
+                Hashtbl.fold
+                  (fun o n acc ->
+                    match acc with
+                    | Some (_, n') when n' >= n -> acc
+                    | _ -> Some (o, n))
+                  tally None
+              in
+              (match best with
+              | Some (o, _) -> prefix_answer @ [ o ]
+              | None -> invalid_arg "Nondet.modal_oracle: SUL returned no outputs")
+        in
+        Hashtbl.replace memo word a;
+        a
+  in
+  answer

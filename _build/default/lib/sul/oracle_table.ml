@@ -1,0 +1,36 @@
+type ('ci, 'co) step = { sent : 'ci list; received : 'co list }
+
+type ('ai, 'ao, 'ci, 'co) entry = {
+  abstract_inputs : 'ai list;
+  abstract_outputs : 'ao list;
+  steps : ('ci, 'co) step list;
+}
+
+let concrete_inputs entry = List.concat_map (fun s -> s.sent) entry.steps
+let concrete_outputs entry = List.concat_map (fun s -> s.received) entry.steps
+
+type ('ai, 'ao, 'ci, 'co) t = {
+  table : ('ai list, ('ai, 'ao, 'ci, 'co) entry) Hashtbl.t;
+  mutable order : 'ai list list; (* insertion order, newest first *)
+}
+
+let create () = { table = Hashtbl.create 64; order = [] }
+
+let add t ~abstract_inputs ~abstract_outputs ~steps =
+  let entry = { abstract_inputs; abstract_outputs; steps } in
+  if not (Hashtbl.mem t.table abstract_inputs) then
+    t.order <- abstract_inputs :: t.order;
+  Hashtbl.replace t.table abstract_inputs entry
+
+let find t key = Hashtbl.find_opt t.table key
+
+let entries t = List.rev_map (fun key -> Hashtbl.find t.table key) t.order
+
+let size t = Hashtbl.length t.table
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.order <- []
+
+let longest t =
+  Hashtbl.fold (fun key _ acc -> max acc (List.length key)) t.table 0

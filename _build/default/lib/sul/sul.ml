@@ -1,0 +1,40 @@
+type ('i, 'o) t = {
+  reset : unit -> unit;
+  step : 'i -> 'o;
+  description : string;
+}
+
+let make ?(description = "sul") ~reset ~step () = { reset; step; description }
+
+let query sul word =
+  sul.reset ();
+  List.map sul.step word
+
+let of_mealy m =
+  let state = ref (Prognosis_automata.Mealy.initial m) in
+  {
+    reset = (fun () -> state := Prognosis_automata.Mealy.initial m);
+    step =
+      (fun x ->
+        let s', o = Prognosis_automata.Mealy.step m !state x in
+        state := s';
+        o);
+    description = "mealy";
+  }
+
+let counting sul =
+  let resets = ref 0 and steps = ref 0 in
+  let wrapped =
+    {
+      sul with
+      reset =
+        (fun () ->
+          incr resets;
+          sul.reset ());
+      step =
+        (fun x ->
+          incr steps;
+          sul.step x);
+    }
+  in
+  (wrapped, fun () -> (!resets, !steps))

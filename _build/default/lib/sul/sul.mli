@@ -1,0 +1,25 @@
+(** The System-Under-Learning interface.
+
+    A SUL is anything that can be reset to an initial state and stepped
+    one abstract input symbol at a time, producing one abstract output
+    symbol. Learners interact with implementations only through this
+    interface — the closed-box assumption of the paper. *)
+
+type ('i, 'o) t = {
+  reset : unit -> unit;
+  step : 'i -> 'o;
+  description : string;
+}
+
+val make :
+  ?description:string -> reset:(unit -> unit) -> step:('i -> 'o) -> unit -> ('i, 'o) t
+
+val query : ('i, 'o) t -> 'i list -> 'o list
+(** Reset, then feed the whole input word, collecting outputs. *)
+
+val of_mealy : ('i, 'o) Prognosis_automata.Mealy.t -> ('i, 'o) t
+(** Wraps a known machine as a SUL (useful for testing learners). *)
+
+val counting : ('i, 'o) t -> ('i, 'o) t * (unit -> int * int)
+(** [counting sul] is a wrapper and a function returning
+    [(resets, steps)] performed so far. *)

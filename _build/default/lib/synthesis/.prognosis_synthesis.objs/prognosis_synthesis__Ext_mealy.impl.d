@@ -1,0 +1,1 @@
+lib/synthesis/ext_mealy.ml: Array Buffer Format List Option Printf Prognosis_automata String Term

@@ -1,0 +1,1 @@
+lib/synthesis/ext_mealy.mli: Format Prognosis_automata Term

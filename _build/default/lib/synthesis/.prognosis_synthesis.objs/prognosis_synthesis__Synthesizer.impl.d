@@ -1,0 +1,1 @@
+lib/synthesis/synthesizer.ml: Array Ext_mealy List Option Printf Prognosis_automata Term

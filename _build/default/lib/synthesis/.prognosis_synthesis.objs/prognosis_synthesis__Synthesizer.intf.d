@@ -1,0 +1,1 @@
+lib/synthesis/synthesizer.mli: Ext_mealy Prognosis_automata

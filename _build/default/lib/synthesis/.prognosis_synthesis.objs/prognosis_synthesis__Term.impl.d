@@ -1,0 +1,1 @@
+lib/synthesis/term.ml: Array Format List Option Printf

@@ -1,0 +1,1 @@
+lib/synthesis/term.mli: Format

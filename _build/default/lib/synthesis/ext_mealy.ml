@@ -1,0 +1,183 @@
+module Mealy = Prognosis_automata.Mealy
+
+type slot = Update of int | Output of int
+
+type ('i, 'o) t = {
+  skeleton : ('i, 'o) Mealy.t;
+  nregs : int;
+  in_arity : int;
+  out_arity : int;
+  init_regs : int array;
+  updates : Term.t option array array array;
+  outputs : Term.t option array array array;
+}
+
+let create ~skeleton ~nregs ~in_arity ~out_arity ?init_regs () =
+  let init_regs =
+    match init_regs with Some r -> r | None -> Array.make nregs 0
+  in
+  if Array.length init_regs <> nregs then
+    invalid_arg "Ext_mealy.create: init_regs arity mismatch";
+  let n = Mealy.alphabet_size skeleton in
+  let size = Mealy.size skeleton in
+  {
+    skeleton;
+    nregs;
+    in_arity;
+    out_arity;
+    init_regs;
+    updates = Array.init size (fun _ -> Array.init n (fun _ -> Array.make nregs None));
+    outputs =
+      Array.init size (fun _ -> Array.init n (fun _ -> Array.make out_arity None));
+  }
+
+type ('i, 'o) step = {
+  sym_in : 'i;
+  fields_in : int array;
+  sym_out : 'o;
+  fields_out : int option array;
+}
+
+type ('i, 'o) trace = ('i, 'o) step list
+
+(* Evaluate a term under possibly-unknown registers: None register
+   values poison the result. *)
+let eval_opt ~regs ~fields_in ~fields_out term =
+  match term with
+  | Term.Reg k -> regs.(k)
+  | Term.Reg_inc k -> Option.map (fun v -> v + 1) regs.(k)
+  | other ->
+      Term.eval
+        ~regs:(Array.map (function Some v -> v | None -> 0) regs)
+        ~fields_in ~fields_out other
+      |> fun r -> (
+        (* Only Reg/Reg_inc read registers, so the dummy 0s above are
+           never observable here. *)
+        match other with
+        | Term.Reg _ | Term.Reg_inc _ -> assert false
+        | _ -> r)
+
+(* Walk a trace, calling [on_step state input_idx regs step] before
+   applying the step; returns the first step index where on_step
+   returns false. *)
+let walk t trace ~on_step =
+  let regs = Array.map (fun v -> Some v) t.init_regs in
+  let rec loop idx state regs = function
+    | [] -> None
+    | step :: rest ->
+        let i = Mealy.input_index t.skeleton step.sym_in in
+        if not (on_step state i regs step) then Some idx
+        else begin
+          let state', _ = Mealy.step_idx t.skeleton state i in
+          let regs' =
+            Array.init t.nregs (fun k ->
+                match t.updates.(state).(i).(k) with
+                | None -> regs.(k) (* unknown update: register keeps its value *)
+                | Some term ->
+                    eval_opt ~regs ~fields_in:step.fields_in
+                      ~fields_out:step.fields_out term)
+          in
+          loop (idx + 1) state' regs' rest
+        end
+  in
+  loop 0 (Mealy.initial t.skeleton) regs trace
+
+let step_consistent t state i regs step =
+  (* The abstract skeleton must agree... *)
+  let _, predicted_sym = Mealy.step_idx t.skeleton state i in
+  predicted_sym = step.sym_out
+  && begin
+       (* ...and every known output term must match every observed field. *)
+       let ok = ref true in
+       for f = 0 to t.out_arity - 1 do
+         match (t.outputs.(state).(i).(f), step.fields_out.(f)) with
+         | Some term, Some observed -> (
+             match
+               eval_opt ~regs ~fields_in:step.fields_in
+                 ~fields_out:(Array.make t.out_arity None)
+                 term
+             with
+             | Some predicted when predicted <> observed -> ok := false
+             | Some _ | None -> ())
+         | Some _, None | None, _ -> ()
+       done;
+       !ok
+     end
+
+let first_inconsistency t trace = walk t trace ~on_step:(step_consistent t)
+
+let check t trace = first_inconsistency t trace = None
+
+let predict t trace =
+  let acc = ref [] in
+  let on_step state i regs step =
+    let prediction =
+      Array.init t.out_arity (fun f ->
+          match t.outputs.(state).(i).(f) with
+          | None -> None
+          | Some term ->
+              eval_opt ~regs ~fields_in:step.fields_in
+                ~fields_out:(Array.make t.out_arity None)
+                term)
+    in
+    acc := prediction :: !acc;
+    true
+  in
+  match walk t trace ~on_step with
+  | None -> Ok (List.rev !acc)
+  | Some idx -> Error (Printf.sprintf "walk stopped at step %d" idx)
+
+let output_term t ~state ~input ~field =
+  t.outputs.(state).(Mealy.input_index t.skeleton input).(field)
+
+let update_term t ~state ~input ~reg =
+  t.updates.(state).(Mealy.input_index t.skeleton input).(reg)
+
+let constant_output_fields t ~input ~field =
+  let i = Mealy.input_index t.skeleton input in
+  let consts = ref [] in
+  let all_const = ref true in
+  let any = ref false in
+  for s = 0 to Mealy.size t.skeleton - 1 do
+    match t.outputs.(s).(i).(field) with
+    | Some (Term.Const c) ->
+        any := true;
+        if not (List.mem c !consts) then consts := c :: !consts
+    | Some _ -> all_const := false
+    | None -> ()
+  done;
+  if !any && !all_const then List.sort compare !consts else []
+
+let to_dot ?(name = "ext_mealy") ~input_pp ~output_pp ~names_in ~names_out t =
+  let m = t.skeleton in
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.fprintf fmt "digraph %s {@\n  rankdir=LR;@\n  node [shape=circle];@\n" name;
+  Format.fprintf fmt "  __start [shape=none,label=\"\"];@\n  __start -> s%d;@\n"
+    (Mealy.initial m);
+  let term_str = function
+    | None -> "?"
+    | Some term -> Term.to_string ~names_in ~names_out term
+  in
+  for s = 0 to Mealy.size m - 1 do
+    for i = 0 to Mealy.alphabet_size m - 1 do
+      let s', o = Mealy.step_idx m s i in
+      let out_terms =
+        String.concat ","
+          (List.init t.out_arity (fun f -> term_str t.outputs.(s).(i).(f)))
+      in
+      let upd_terms =
+        String.concat "; "
+          (List.init t.nregs (fun k ->
+               Printf.sprintf "r%d:=%s" k (term_str t.updates.(s).(i).(k))))
+      in
+      let label =
+        Format.asprintf "%a / %a (%s)\\n%s" input_pp (Mealy.inputs m).(i) output_pp
+          o out_terms upd_terms
+      in
+      Format.fprintf fmt "  s%d -> s%d [label=\"%s\"];@\n" s s'
+        (String.concat "\\\"" (String.split_on_char '"' label))
+    done
+  done;
+  Format.fprintf fmt "}@.";
+  Buffer.contents buf

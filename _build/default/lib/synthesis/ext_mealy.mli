@@ -1,0 +1,76 @@
+(** Extended Mealy machines: the abstract skeleton learned by the
+    learning module, enriched with registers, numeric input/output
+    fields, per-transition register updates and output terms
+    (paper §4.3, Figure 4).
+
+    A transition of the extended machine is
+    [p --I(i⃗) / O(o⃗(x⃗))--> q] with register update [x⃗ := u⃗(x⃗, i⃗, ...)].
+    Slots never exercised by any witness trace remain unknown and are
+    rendered as "?". *)
+
+type slot = Update of int | Output of int
+
+type ('i, 'o) t = {
+  skeleton : ('i, 'o) Prognosis_automata.Mealy.t;
+  nregs : int;
+  in_arity : int;
+  out_arity : int;
+  init_regs : int array;
+  updates : Term.t option array array array;  (** [state].[input].[register] *)
+  outputs : Term.t option array array array;  (** [state].[input].[field] *)
+}
+
+val create :
+  skeleton:('i, 'o) Prognosis_automata.Mealy.t ->
+  nregs:int ->
+  in_arity:int ->
+  out_arity:int ->
+  ?init_regs:int array ->
+  unit ->
+  ('i, 'o) t
+(** All slots unknown. *)
+
+type ('i, 'o) step = {
+  sym_in : 'i;
+  fields_in : int array;
+  sym_out : 'o;
+  fields_out : int option array;
+      (** observed numeric fields of the response; [None] marks fields
+          that are unobservable or deliberately unconstrained (e.g. a
+          server-chosen random initial sequence number) *)
+}
+
+type ('i, 'o) trace = ('i, 'o) step list
+
+val check : ('i, 'o) t -> ('i, 'o) trace -> bool
+(** Is the machine consistent with a concrete trace? Output terms are
+    evaluated against the observed fields; registers whose value is
+    unknown (because an update captured an unobserved field) do not
+    refute. The abstract skeleton must also reproduce the abstract
+    outputs. *)
+
+val first_inconsistency : ('i, 'o) t -> ('i, 'o) trace -> int option
+(** Index of the first step where {!check} fails, if any. *)
+
+val predict :
+  ('i, 'o) t -> ('i, 'o) trace -> (int option array list, string) result
+(** Predicted output-field vectors along a trace (observed output
+    fields still feed register updates, mirroring how the machine is
+    used to explain witness traces). *)
+
+val output_term : ('i, 'o) t -> state:int -> input:'i -> field:int -> Term.t option
+val update_term : ('i, 'o) t -> state:int -> input:'i -> reg:int -> Term.t option
+
+val constant_output_fields : ('i, 'o) t -> input:'i -> field:int -> int list
+(** All constants [c] such that every known output term for [field] on
+    transitions reading [input] is [Const c] — the Issue-4 detector:
+    a field that "always has the value 0" shows up as [[0]]. *)
+
+val to_dot :
+  ?name:string ->
+  input_pp:(Format.formatter -> 'i -> unit) ->
+  output_pp:(Format.formatter -> 'o -> unit) ->
+  names_in:string array ->
+  names_out:string array ->
+  ('i, 'o) t ->
+  string

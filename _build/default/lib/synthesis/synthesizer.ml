@@ -1,0 +1,189 @@
+module Mealy = Prognosis_automata.Mealy
+
+type config = {
+  nregs : int;
+  in_arity : int;
+  out_arity : int;
+  init_regs : int array;
+  consts : int list;
+  max_nodes : int;
+}
+
+let default_config ~nregs ~in_arity ~out_arity =
+  {
+    nregs;
+    in_arity;
+    out_arity;
+    init_regs = Array.make nregs 0;
+    consts = [ 0; 1 ];
+    max_nodes = 2_000_000;
+  }
+
+exception Budget_exhausted
+
+(* Evaluate a term under possibly-unknown register values. *)
+let eval_term ~regs ~fields_in ~fields_out term =
+  match term with
+  | Term.Reg k -> regs.(k)
+  | Term.Reg_inc k -> Option.map (fun v -> v + 1) regs.(k)
+  | Term.In_field f -> Some fields_in.(f)
+  | Term.In_field_inc f -> Some (fields_in.(f) + 1)
+  | Term.Out_field f -> fields_out.(f)
+  | Term.Out_field_inc f -> Option.map (fun v -> v + 1) fields_out.(f)
+  | Term.Const c -> Some c
+
+let solve cfg ~skeleton ~traces ?(negatives = []) () =
+  let ext =
+    Ext_mealy.create ~skeleton ~nregs:cfg.nregs ~in_arity:cfg.in_arity
+      ~out_arity:cfg.out_arity ~init_regs:cfg.init_regs ()
+  in
+  let update_cands =
+    Term.update_candidates ~nregs:cfg.nregs ~in_arity:cfg.in_arity
+      ~out_arity:cfg.out_arity ~consts:cfg.consts
+  in
+  (* Identity first: an unconstrained register keeps its value, which
+     keeps the search shallow. *)
+  let update_cands_for k =
+    Term.Reg k :: List.filter (fun t -> t <> Term.Reg k) update_cands
+  in
+  let output_cands =
+    Term.output_candidates ~nregs:cfg.nregs ~in_arity:cfg.in_arity
+      ~consts:cfg.consts
+  in
+  let nodes = ref 0 in
+  let no_out = Array.make cfg.out_arity None in
+  let tick () =
+    incr nodes;
+    if !nodes > cfg.max_nodes then raise Budget_exhausted
+  in
+  (* The machine under construction doubles as the assignment store:
+     [ext.outputs]/[ext.updates] slots are set during search and
+     cleared on backtrack. *)
+  let rec all_traces = function
+    | [] ->
+        List.for_all (fun neg -> not (Ext_mealy.check ext neg)) negatives
+    | trace :: rest ->
+        let regs = Array.map (fun v -> Some v) cfg.init_regs in
+        steps (Mealy.initial skeleton) regs trace rest
+  and steps state regs trace rest =
+    match trace with
+    | [] -> all_traces rest
+    | step :: more ->
+        tick ();
+        let i = Mealy.input_index skeleton step.Ext_mealy.sym_in in
+        let state', osym = Mealy.step_idx skeleton state i in
+        if osym <> step.Ext_mealy.sym_out then
+          (* The trace contradicts the abstract skeleton itself: no
+             term assignment can fix that. *)
+          false
+        else outputs_from 0 state i regs step state' more rest
+  and outputs_from f state i regs step state' more rest =
+    if f = cfg.out_arity then updates_from 0 state i regs step state' more rest
+    else begin
+      match step.Ext_mealy.fields_out.(f) with
+      | None -> outputs_from (f + 1) state i regs step state' more rest
+      | Some observed -> (
+          let fields_in = step.Ext_mealy.fields_in in
+          match ext.Ext_mealy.outputs.(state).(i).(f) with
+          | Some term -> (
+              match eval_term ~regs ~fields_in ~fields_out:no_out term with
+              | Some predicted when predicted <> observed -> false
+              | Some _ | None ->
+                  outputs_from (f + 1) state i regs step state' more rest)
+          | None ->
+              (* Branch over candidates consistent with this instance;
+                 exact matches first, then unknown-register reads. *)
+              let viable =
+                List.filter
+                  (fun cand ->
+                    match eval_term ~regs ~fields_in ~fields_out:no_out cand with
+                    | Some v -> v = observed
+                    | None -> true)
+                  output_cands
+              in
+              let exact, lenient =
+                List.partition
+                  (fun cand ->
+                    eval_term ~regs ~fields_in ~fields_out:no_out cand <> None)
+                  viable
+              in
+              (* Prefer the simplest explanation: constants, then input
+                 fields, then registers — so a field that is genuinely
+                 constant is reported as such rather than as a register
+                 that happens never to change. *)
+              let rank = function
+                | Term.Const _ -> 0
+                | Term.In_field _ | Term.In_field_inc _ -> 1
+                | Term.Reg _ | Term.Reg_inc _ -> 2
+                | Term.Out_field _ | Term.Out_field_inc _ -> 3
+              in
+              let exact =
+                List.stable_sort (fun a b -> compare (rank a) (rank b)) exact
+              in
+              List.exists
+                (fun cand ->
+                  ext.Ext_mealy.outputs.(state).(i).(f) <- Some cand;
+                  if outputs_from (f + 1) state i regs step state' more rest then
+                    true
+                  else begin
+                    ext.Ext_mealy.outputs.(state).(i).(f) <- None;
+                    false
+                  end)
+                (exact @ lenient))
+    end
+  and updates_from k state i regs step state' more rest =
+    if k = cfg.nregs then begin
+      let next_regs =
+        Array.init cfg.nregs (fun r ->
+            match ext.Ext_mealy.updates.(state).(i).(r) with
+            | None -> regs.(r)
+            | Some term ->
+                eval_term ~regs ~fields_in:step.Ext_mealy.fields_in
+                  ~fields_out:step.Ext_mealy.fields_out term)
+      in
+      steps state' next_regs more rest
+    end
+    else begin
+      match ext.Ext_mealy.updates.(state).(i).(k) with
+      | Some _ -> updates_from (k + 1) state i regs step state' more rest
+      | None ->
+          List.exists
+            (fun cand ->
+              ext.Ext_mealy.updates.(state).(i).(k) <- Some cand;
+              if updates_from (k + 1) state i regs step state' more rest then true
+              else begin
+                ext.Ext_mealy.updates.(state).(i).(k) <- None;
+                false
+              end)
+            (update_cands_for k)
+    end
+  in
+  match all_traces traces with
+  | true -> Ok ext
+  | false -> Error "no consistent term assignment exists for the given candidates"
+  | exception Budget_exhausted ->
+      Error
+        (Printf.sprintf "search budget of %d nodes exhausted" cfg.max_nodes)
+
+let refine cfg ~skeleton ~sample ~rounds ~traces =
+  let rec loop round traces =
+    match solve cfg ~skeleton ~traces () with
+    | Error e -> Error e
+    | Ok machine ->
+        if round >= rounds then Ok (machine, traces)
+        else begin
+          (* Random equivalence testing: draw fresh witness traces and
+             look for one the synthesized machine cannot explain. *)
+          let rec probe k =
+            if k = 0 then None
+            else
+              let candidate = sample () in
+              if Ext_mealy.check machine candidate then probe (k - 1)
+              else Some candidate
+          in
+          match probe 20 with
+          | None -> Ok (machine, traces)
+          | Some counterexample -> loop (round + 1) (counterexample :: traces)
+        end
+  in
+  loop 0 traces

@@ -1,0 +1,53 @@
+(** Constraint-based synthesis of extended Mealy machines
+    (paper §4.3).
+
+    The paper encodes the choice of per-transition terms as integer
+    choice variables and hands the implications to Z3. Z3 is not
+    available in this environment, so the same finite-choice problem is
+    decided exactly by a backtracking search over the candidate term
+    lists, walking the witness traces and propagating register values:
+    an output constraint [eval(term) = observed] prunes candidates
+    immediately, update choices are branched at first use with the
+    identity update tried first, and the search backtracks on
+    conflict. Because every unknown ranges over a small finite list,
+    this is a decision procedure for the same constraint system.
+
+    The CEGIS-style {!refine} loop reproduces the paper's refinement:
+    synthesized machines are validated by random testing against the
+    SUL, and counterexample traces are added to the witness set until
+    testing finds no more inconsistencies. *)
+
+type config = {
+  nregs : int;
+  in_arity : int;
+  out_arity : int;
+  init_regs : int array;
+  consts : int list;  (** constant candidates, e.g. [0; 1] *)
+  max_nodes : int;  (** search budget; [Error] when exhausted *)
+}
+
+val default_config : nregs:int -> in_arity:int -> out_arity:int -> config
+(** Constants [0; 1], zero-initialized registers, 2M-node budget. *)
+
+val solve :
+  config ->
+  skeleton:('i, 'o) Prognosis_automata.Mealy.t ->
+  traces:('i, 'o) Ext_mealy.trace list ->
+  ?negatives:('i, 'o) Ext_mealy.trace list ->
+  unit ->
+  (('i, 'o) Ext_mealy.t, string) result
+(** Finds term assignments making the extended machine consistent with
+    every positive trace and inconsistent with every negative one.
+    Slots not exercised by any trace remain unknown. *)
+
+val refine :
+  config ->
+  skeleton:('i, 'o) Prognosis_automata.Mealy.t ->
+  sample:(unit -> ('i, 'o) Ext_mealy.trace) ->
+  rounds:int ->
+  traces:('i, 'o) Ext_mealy.trace list ->
+  (('i, 'o) Ext_mealy.t * ('i, 'o) Ext_mealy.trace list, string) result
+(** Solve, then alternate random-testing ([sample] must produce a fresh
+    concrete trace from the SUL) with re-solving on counterexamples,
+    for at most [rounds] rounds. Returns the machine and the final
+    witness set. *)

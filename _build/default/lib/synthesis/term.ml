@@ -1,0 +1,63 @@
+type t =
+  | Reg of int
+  | Reg_inc of int
+  | In_field of int
+  | In_field_inc of int
+  | Out_field of int
+  | Out_field_inc of int
+  | Const of int
+
+let to_string ~names_in ~names_out = function
+  | Reg k -> Printf.sprintf "r%d" k
+  | Reg_inc k -> Printf.sprintf "r%d+1" k
+  | In_field f -> names_in.(f)
+  | In_field_inc f -> names_in.(f) ^ "+1"
+  | Out_field f -> "out." ^ names_out.(f)
+  | Out_field_inc f -> "out." ^ names_out.(f) ^ "+1"
+  | Const c -> string_of_int c
+
+let pp fmt t =
+  let s =
+    match t with
+    | Reg k -> Printf.sprintf "r%d" k
+    | Reg_inc k -> Printf.sprintf "r%d+1" k
+    | In_field f -> Printf.sprintf "in[%d]" f
+    | In_field_inc f -> Printf.sprintf "in[%d]+1" f
+    | Out_field f -> Printf.sprintf "out[%d]" f
+    | Out_field_inc f -> Printf.sprintf "out[%d]+1" f
+    | Const c -> string_of_int c
+  in
+  Format.pp_print_string fmt s
+
+let is_constant = function
+  | Const _ -> true
+  | Reg _ | Reg_inc _ | In_field _ | In_field_inc _ | Out_field _ | Out_field_inc _
+    ->
+      false
+
+let eval ~regs ~fields_in ~fields_out term =
+  match term with
+  | Reg k -> Some regs.(k)
+  | Reg_inc k -> Some (regs.(k) + 1)
+  | In_field f -> Some fields_in.(f)
+  | In_field_inc f -> Some (fields_in.(f) + 1)
+  | Out_field f -> fields_out.(f)
+  | Out_field_inc f -> Option.map (fun v -> v + 1) fields_out.(f)
+  | Const c -> Some c
+
+let update_candidates ~nregs ~in_arity ~out_arity ~consts =
+  List.concat
+    [
+      List.concat (List.init nregs (fun k -> [ Reg k; Reg_inc k ]));
+      List.concat (List.init in_arity (fun f -> [ In_field f; In_field_inc f ]));
+      List.concat (List.init out_arity (fun f -> [ Out_field f; Out_field_inc f ]));
+      List.map (fun c -> Const c) consts;
+    ]
+
+let output_candidates ~nregs ~in_arity ~consts =
+  List.concat
+    [
+      List.concat (List.init nregs (fun k -> [ Reg k; Reg_inc k ]));
+      List.concat (List.init in_arity (fun f -> [ In_field f; In_field_inc f ]));
+      List.map (fun c -> Const c) consts;
+    ]

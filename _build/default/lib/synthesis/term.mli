@@ -1,0 +1,49 @@
+(** The term grammar for extended Mealy machines (paper §4.3).
+
+    The paper instantiates each unknown with one of a finite list of
+    terms over registers, input fields and previous values — e.g.
+    [r, r+1, pr, pr+1, pi, pi+1, sn, an] — and asks an SMT solver to
+    pick indices. Here the grammar is explicit:
+
+    {ul
+    {- [Reg k] / [Reg_inc k] — register k (before the update), plain
+       or incremented;}
+    {- [In_field f] / [In_field_inc f] — the f-th numeric field of the
+       current input packet;}
+    {- [Out_field f] / [Out_field_inc f] — the f-th numeric field of
+       the current response packet (update terms only: this is how a
+       register captures a server-chosen value such as its random
+       initial sequence number);}
+    {- [Const c] — a constant.}} *)
+
+type t =
+  | Reg of int
+  | Reg_inc of int
+  | In_field of int
+  | In_field_inc of int
+  | Out_field of int
+  | Out_field_inc of int
+  | Const of int
+
+val to_string : names_in:string array -> names_out:string array -> t -> string
+(** Render with field names, e.g. "sn+1", "r0", "out.seq". *)
+
+val pp : Format.formatter -> t -> unit
+
+val is_constant : t -> bool
+
+val eval :
+  regs:int array ->
+  fields_in:int array ->
+  fields_out:int option array ->
+  t ->
+  int option
+(** Evaluate; [None] when the term references an unobserved output
+    field. *)
+
+val update_candidates : nregs:int -> in_arity:int -> out_arity:int -> consts:int list -> t list
+(** The register-update candidate list. *)
+
+val output_candidates : nregs:int -> in_arity:int -> consts:int list -> t list
+(** The output-term candidate list (output fields cannot reference the
+    response being produced). *)

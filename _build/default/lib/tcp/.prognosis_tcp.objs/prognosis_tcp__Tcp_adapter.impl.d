@@ -1,0 +1,1 @@
+lib/tcp/tcp_adapter.ml: List Prognosis_sul Tcp_alphabet Tcp_client Tcp_server Tcp_wire

@@ -1,0 +1,1 @@
+lib/tcp/tcp_adapter.mli: Prognosis_sul Tcp_alphabet Tcp_server Tcp_wire

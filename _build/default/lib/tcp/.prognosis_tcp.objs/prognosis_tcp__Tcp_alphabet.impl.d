@@ -1,0 +1,1 @@
+lib/tcp/tcp_alphabet.ml: Format List String Tcp_wire

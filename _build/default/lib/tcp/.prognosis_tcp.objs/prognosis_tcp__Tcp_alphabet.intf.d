@@ -1,0 +1,1 @@
+lib/tcp/tcp_alphabet.mli: Format Tcp_wire

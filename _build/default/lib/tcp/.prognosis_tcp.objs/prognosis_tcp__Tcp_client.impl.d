@@ -1,0 +1,1 @@
+lib/tcp/tcp_client.ml: Prognosis_sul String Tcp_alphabet Tcp_wire

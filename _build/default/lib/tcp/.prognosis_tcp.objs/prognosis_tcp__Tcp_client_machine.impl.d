@@ -1,0 +1,1 @@
+lib/tcp/tcp_client_machine.ml: List Prognosis_sul String Tcp_wire

@@ -1,0 +1,1 @@
+lib/tcp/tcp_client_machine.mli: Prognosis_sul Tcp_wire

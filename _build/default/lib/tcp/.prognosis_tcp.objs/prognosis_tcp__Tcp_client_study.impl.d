@@ -1,0 +1,1 @@
+lib/tcp/tcp_client_study.ml: Format List Prognosis_sul String Tcp_alphabet Tcp_client_machine Tcp_wire

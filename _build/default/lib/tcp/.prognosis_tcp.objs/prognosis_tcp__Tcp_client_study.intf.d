@@ -1,0 +1,1 @@
+lib/tcp/tcp_client_study.mli: Format Prognosis_sul Tcp_alphabet Tcp_wire

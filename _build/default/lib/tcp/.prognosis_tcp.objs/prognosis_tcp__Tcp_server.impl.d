@@ -1,0 +1,1 @@
+lib/tcp/tcp_server.ml: List Prognosis_sul String Tcp_wire

@@ -1,0 +1,1 @@
+lib/tcp/tcp_server.mli: Prognosis_sul Tcp_wire

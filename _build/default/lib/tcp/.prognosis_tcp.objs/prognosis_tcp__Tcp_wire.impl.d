@@ -1,0 +1,1 @@
+lib/tcp/tcp_wire.ml: Buffer Bytes Char Format List Printf String

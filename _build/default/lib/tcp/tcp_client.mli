@@ -1,0 +1,29 @@
+(** The instrumented reference TCP client: the concretization oracle
+    behind the Adapter's (α, γ) pair (paper §3.2).
+
+    The client carries real protocol state — initial sequence number,
+    send/receive positions, connection phase — so that each abstract
+    symbol requested by the learner can be turned into a concrete
+    segment that is valid in the current connection state, exactly as
+    the paper's instrumented reference implementation does. It never
+    sends packets on its own (instrumentation property 1): it only
+    reacts to explicit [concretize] requests and passively [absorb]s
+    responses to keep its state synchronized. *)
+
+type t
+
+val create : ?src_port:int -> ?dst_port:int -> Prognosis_sul.Rng.t -> t
+val reset : t -> unit
+
+val concretize : t -> Tcp_alphabet.symbol -> Tcp_wire.segment
+(** γ: build the concrete segment realizing an abstract symbol under
+    the current connection state, updating the state (sequence-space
+    consumption) as a real client would. *)
+
+val absorb : t -> Tcp_wire.segment -> unit
+(** Update client state from a response segment (SYN+ACK establishes,
+    FIN consumes a sequence number, RST tears down). *)
+
+val established : t -> bool
+val snd_nxt : t -> int
+val rcv_nxt : t -> int

@@ -1,0 +1,208 @@
+module Rng = Prognosis_sul.Rng
+open Tcp_wire
+
+type state =
+  | Closed
+  | Syn_sent
+  | Established
+  | Close_wait
+  | Last_ack
+  | Fin_wait_1
+  | Fin_wait_2
+  | Time_wait
+  | Closed_final
+
+let state_to_string = function
+  | Closed -> "CLOSED"
+  | Syn_sent -> "SYN_SENT"
+  | Established -> "ESTABLISHED"
+  | Close_wait -> "CLOSE_WAIT"
+  | Last_ack -> "LAST_ACK"
+  | Fin_wait_1 -> "FIN_WAIT_1"
+  | Fin_wait_2 -> "FIN_WAIT_2"
+  | Time_wait -> "TIME_WAIT"
+  | Closed_final -> "CLOSED_FINAL"
+
+type command = Connect | Send | Close
+
+type t = {
+  rng : Rng.t;
+  src_port : int;
+  dst_port : int;
+  mutable state : state;
+  mutable iss : int;
+  mutable snd_nxt : int;
+  mutable rcv_nxt : int;
+}
+
+let reset t =
+  t.state <- Closed;
+  t.iss <- Rng.int t.rng 0x40000000;
+  t.snd_nxt <- t.iss;
+  t.rcv_nxt <- 0
+
+let create ?(src_port = 40000) ?(dst_port = 443) rng =
+  let t = { rng; src_port; dst_port; state = Closed; iss = 0; snd_nxt = 0; rcv_nxt = 0 } in
+  reset t;
+  t
+
+let state t = t.state
+
+let emit t ?(payload = "") ~seq ~ack flags =
+  make ~payload ~src_port:t.src_port ~dst_port:t.dst_port ~seq ~ack flags
+
+let syn_flags = { no_flags with syn = true }
+let ack_flags = { no_flags with ack = true }
+let fin_ack_flags = { no_flags with fin = true; ack = true }
+let psh_flags = { no_flags with ack = true; psh = true }
+
+let command t cmd =
+  match (t.state, cmd) with
+  | Closed, Connect ->
+      t.state <- Syn_sent;
+      t.snd_nxt <- seq_add t.iss 1;
+      [ emit t ~seq:t.iss ~ack:0 ~payload:"" syn_flags ]
+  | Syn_sent, Connect ->
+      (* Retransmit the SYN. *)
+      [ emit t ~seq:t.iss ~ack:0 syn_flags ]
+  | Established, Send ->
+      let seg = emit t ~payload:"D" ~seq:t.snd_nxt ~ack:t.rcv_nxt psh_flags in
+      t.snd_nxt <- seq_add t.snd_nxt 1;
+      [ seg ]
+  | Established, Close ->
+      let seg = emit t ~seq:t.snd_nxt ~ack:t.rcv_nxt fin_ack_flags in
+      t.snd_nxt <- seq_add t.snd_nxt 1;
+      t.state <- Fin_wait_1;
+      [ seg ]
+  | Close_wait, Close ->
+      let seg = emit t ~seq:t.snd_nxt ~ack:t.rcv_nxt fin_ack_flags in
+      t.snd_nxt <- seq_add t.snd_nxt 1;
+      t.state <- Last_ack;
+      [ seg ]
+  | Syn_sent, Close ->
+      (* Abandon the attempt silently. *)
+      t.state <- Closed_final;
+      []
+  | (Established | Close_wait | Last_ack | Fin_wait_1 | Fin_wait_2 | Time_wait
+    | Closed_final), Connect
+  | (Closed | Syn_sent | Close_wait | Last_ack | Fin_wait_1 | Fin_wait_2
+    | Time_wait | Closed_final), Send
+  | (Closed | Last_ack | Fin_wait_1 | Fin_wait_2 | Time_wait | Closed_final), Close
+    ->
+      []
+
+(* RST for a segment arriving with no matching connection. *)
+let refuse t (seg : segment) =
+  if seg.flags.rst then []
+  else if seg.flags.ack then
+    [ emit t ~seq:seg.ack ~ack:0 { no_flags with rst = true } ]
+  else
+    let seg_len =
+      String.length seg.payload + (if seg.flags.syn then 1 else 0)
+      + if seg.flags.fin then 1 else 0
+    in
+    [
+      emit t ~seq:0 ~ack:(seq_add seg.seq seg_len)
+        { no_flags with rst = true; ack = true };
+    ]
+
+let acceptable t (seg : segment) = seg.seq = t.rcv_nxt
+let acks_current t (seg : segment) = seg.flags.ack && seg.ack = t.snd_nxt
+
+let handle t (seg : segment) =
+  if seg.dst_port <> t.src_port then refuse t seg
+  else
+    match t.state with
+    | Closed | Closed_final -> refuse t seg
+    | Syn_sent ->
+        if seg.flags.rst then begin
+          (* Connection refused. *)
+          t.state <- Closed_final;
+          []
+        end
+        else if seg.flags.syn && seg.flags.ack && acks_current t seg then begin
+          t.rcv_nxt <- seq_add seg.seq 1;
+          t.state <- Established;
+          [ emit t ~seq:t.snd_nxt ~ack:t.rcv_nxt ack_flags ]
+        end
+        else if seg.flags.ack then
+          (* Half-open ACK without SYN: reset it (RFC 793). *)
+          [ emit t ~seq:seg.ack ~ack:0 { no_flags with rst = true } ]
+        else []
+    | Established ->
+        if seg.flags.rst then begin
+          t.state <- Closed_final;
+          []
+        end
+        else if not (acceptable t seg) then
+          (* Out-of-window: duplicate ACK. *)
+          [ emit t ~seq:t.snd_nxt ~ack:t.rcv_nxt ack_flags ]
+        else if seg.flags.fin then begin
+          t.rcv_nxt <- seq_add t.rcv_nxt (String.length seg.payload + 1);
+          t.state <- Close_wait;
+          [ emit t ~seq:t.snd_nxt ~ack:t.rcv_nxt ack_flags ]
+        end
+        else if String.length seg.payload > 0 then begin
+          t.rcv_nxt <- seq_add t.rcv_nxt (String.length seg.payload);
+          [ emit t ~seq:t.snd_nxt ~ack:t.rcv_nxt ack_flags ]
+        end
+        else []
+    | Close_wait ->
+        if seg.flags.rst then begin
+          t.state <- Closed_final;
+          []
+        end
+        else if seg.flags.fin && acceptable t seg = false then
+          [ emit t ~seq:t.snd_nxt ~ack:t.rcv_nxt ack_flags ]
+        else []
+    | Last_ack ->
+        if seg.flags.rst then begin
+          t.state <- Closed_final;
+          []
+        end
+        else if acks_current t seg then begin
+          t.state <- Closed_final;
+          []
+        end
+        else []
+    | Fin_wait_1 ->
+        if seg.flags.rst then begin
+          t.state <- Closed_final;
+          []
+        end
+        else if seg.flags.fin && acceptable t seg then begin
+          (* Their FIN (with or without the ACK of ours). *)
+          t.rcv_nxt <- seq_add t.rcv_nxt (String.length seg.payload + 1);
+          t.state <- (if acks_current t seg then Time_wait else Time_wait);
+          [ emit t ~seq:t.snd_nxt ~ack:t.rcv_nxt ack_flags ]
+        end
+        else if acks_current t seg then begin
+          t.state <- Fin_wait_2;
+          []
+        end
+        else []
+    | Fin_wait_2 ->
+        if seg.flags.rst then begin
+          t.state <- Closed_final;
+          []
+        end
+        else if seg.flags.fin && acceptable t seg then begin
+          t.rcv_nxt <- seq_add t.rcv_nxt (String.length seg.payload + 1);
+          t.state <- Time_wait;
+          [ emit t ~seq:t.snd_nxt ~ack:t.rcv_nxt ack_flags ]
+        end
+        else []
+    | Time_wait ->
+        if seg.flags.rst then begin
+          t.state <- Closed_final;
+          []
+        end
+        else if seg.flags.fin then
+          (* FIN retransmission: re-acknowledge. *)
+          [ emit t ~seq:t.snd_nxt ~ack:t.rcv_nxt ack_flags ]
+        else []
+
+let handle_bytes t data =
+  match decode data with
+  | Error _ -> []
+  | Ok seg -> List.map encode (handle t seg)

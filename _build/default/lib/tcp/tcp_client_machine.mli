@@ -1,0 +1,46 @@
+(** A TCP *client* implementation, learnable as a System Under
+    Learning: the role-reversed counterpart of {!Tcp_server}.
+
+    The prior work the paper builds on (Fiterău-Broștean et al. [22])
+    learns TCP state machines driven by both socket calls and wire
+    input; this machine exposes the same two faces:
+
+    {ul
+    {- an application interface — {!Connect}, {!Send}, {!Close} — the
+       instrumented triggers of [22];}
+    {- the wire — server segments delivered through
+       {!handle_bytes}.}}
+
+    The lifecycle covers active open (CLOSED → SYN_SENT →
+    ESTABLISHED), data transfer, both close directions (FIN_WAIT_1/2 →
+    TIME_WAIT and CLOSE_WAIT → LAST_ACK) and RST teardown. Like the
+    one-shot server, a fully closed client does not reconnect, keeping
+    the final state observable. *)
+
+type state =
+  | Closed  (** before any [Connect] *)
+  | Syn_sent
+  | Established
+  | Close_wait
+  | Last_ack
+  | Fin_wait_1
+  | Fin_wait_2
+  | Time_wait
+  | Closed_final  (** connection over; no new connection *)
+
+val state_to_string : state -> string
+
+type command = Connect | Send | Close
+
+type t
+
+val create : ?src_port:int -> ?dst_port:int -> Prognosis_sul.Rng.t -> t
+val reset : t -> unit
+val state : t -> state
+
+val command : t -> command -> Tcp_wire.segment list
+(** Deliver an application command; returns the segments the client
+    emits in response. *)
+
+val handle : t -> Tcp_wire.segment -> Tcp_wire.segment list
+val handle_bytes : t -> string -> string list

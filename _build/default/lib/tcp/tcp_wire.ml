@@ -1,0 +1,274 @@
+type flags = {
+  syn : bool;
+  ack : bool;
+  fin : bool;
+  rst : bool;
+  psh : bool;
+  urg : bool;
+}
+
+let no_flags =
+  { syn = false; ack = false; fin = false; rst = false; psh = false; urg = false }
+
+let flags_to_string f =
+  let b = Buffer.create 6 in
+  if f.syn then Buffer.add_char b 'S';
+  if f.ack then Buffer.add_char b 'A';
+  if f.fin then Buffer.add_char b 'F';
+  if f.rst then Buffer.add_char b 'R';
+  if f.psh then Buffer.add_char b 'P';
+  if f.urg then Buffer.add_char b 'U';
+  Buffer.contents b
+
+let flags_of_string s =
+  String.fold_left
+    (fun f c ->
+      match c with
+      | 'S' -> { f with syn = true }
+      | 'A' -> { f with ack = true }
+      | 'F' -> { f with fin = true }
+      | 'R' -> { f with rst = true }
+      | 'P' -> { f with psh = true }
+      | 'U' -> { f with urg = true }
+      | _ -> invalid_arg "Tcp_wire.flags_of_string: unknown flag character")
+    no_flags s
+
+type option_ =
+  | Mss of int
+  | Window_scale of int
+  | Sack_permitted
+  | Timestamps of { value : int; echo : int }
+
+let option_to_string = function
+  | Mss v -> Printf.sprintf "MSS(%d)" v
+  | Window_scale v -> Printf.sprintf "WS(%d)" v
+  | Sack_permitted -> "SACK_OK"
+  | Timestamps { value; echo } -> Printf.sprintf "TS(%d,%d)" value echo
+
+type segment = {
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack : int;
+  flags : flags;
+  window : int;
+  urgent : int;
+  options : option_ list;
+  payload : string;
+}
+
+let mask32 = 0xFFFFFFFF
+let seq_add a b = (a + b) land mask32
+
+let make ?(window = 65535) ?(urgent = 0) ?(options = []) ?(payload = "")
+    ~src_port ~dst_port ~seq ~ack flags =
+  {
+    src_port;
+    dst_port;
+    seq = seq land mask32;
+    ack = ack land mask32;
+    flags;
+    window;
+    urgent;
+    options;
+    payload;
+  }
+
+let find_mss seg =
+  List.fold_left
+    (fun acc opt -> match opt with Mss v -> Some v | _ -> acc)
+    None seg.options
+
+let pp fmt s =
+  Format.fprintf fmt "TCP{%d->%d %s seq=%d ack=%d len=%d}" s.src_port s.dst_port
+    (flags_to_string s.flags) s.seq s.ack (String.length s.payload)
+
+let to_json s =
+  String.concat "\n"
+    [
+      "{ \"isNull\": false,";
+      Printf.sprintf "  \"sourcePort\": %d," s.src_port;
+      Printf.sprintf "  \"destinationPort\": %d," s.dst_port;
+      Printf.sprintf "  \"seqNumber\": %d," s.seq;
+      Printf.sprintf "  \"ackNumber\": %d," s.ack;
+      "  \"dataOffset\": null,";
+      "  \"reserved\": 0,";
+      Printf.sprintf "  \"flags\": %S," (flags_to_string s.flags);
+      Printf.sprintf "  \"window\": %d," s.window;
+      "  \"checksum\": null,";
+      Printf.sprintf "  \"urgentPointer\": %d }" s.urgent;
+    ]
+
+(* RFC 1071 internet checksum: ones-complement sum of 16-bit words. *)
+let checksum data =
+  let len = String.length data in
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < len do
+    sum := !sum + (Char.code data.[!i] lsl 8) + Char.code data.[!i + 1];
+    i := !i + 2
+  done;
+  if !i < len then sum := !sum + (Char.code data.[!i] lsl 8);
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xFFFF
+
+let header_len = 20
+
+let set_u16 b off v =
+  Bytes.set b off (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b (off + 1) (Char.chr (v land 0xFF))
+
+let set_u32 b off v =
+  set_u16 b off ((v lsr 16) land 0xFFFF);
+  set_u16 b (off + 2) (v land 0xFFFF)
+
+let get_u16 s off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
+let get_u32 s off = (get_u16 s off lsl 16) lor get_u16 s (off + 2)
+
+let flag_bits f =
+  (if f.fin then 0x01 else 0)
+  lor (if f.syn then 0x02 else 0)
+  lor (if f.rst then 0x04 else 0)
+  lor (if f.psh then 0x08 else 0)
+  lor (if f.ack then 0x10 else 0)
+  lor if f.urg then 0x20 else 0
+
+let flags_of_bits bits =
+  {
+    fin = bits land 0x01 <> 0;
+    syn = bits land 0x02 <> 0;
+    rst = bits land 0x04 <> 0;
+    psh = bits land 0x08 <> 0;
+    ack = bits land 0x10 <> 0;
+    urg = bits land 0x20 <> 0;
+  }
+
+let encode_options options =
+  let buf = Buffer.create 16 in
+  List.iter
+    (fun opt ->
+      match opt with
+      | Mss v ->
+          Buffer.add_char buf '\x02';
+          Buffer.add_char buf '\x04';
+          Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+          Buffer.add_char buf (Char.chr (v land 0xFF))
+      | Window_scale v ->
+          Buffer.add_char buf '\x03';
+          Buffer.add_char buf '\x03';
+          Buffer.add_char buf (Char.chr (v land 0xFF))
+      | Sack_permitted ->
+          Buffer.add_char buf '\x04';
+          Buffer.add_char buf '\x02'
+      | Timestamps { value; echo } ->
+          Buffer.add_char buf '\x08';
+          Buffer.add_char buf '\x0A';
+          let add32 v =
+            Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
+            Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+            Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+            Buffer.add_char buf (Char.chr (v land 0xFF))
+          in
+          add32 value;
+          add32 echo)
+    options;
+  (* Pad with NOPs to a 32-bit boundary. *)
+  while Buffer.length buf mod 4 <> 0 do
+    Buffer.add_char buf '\x01'
+  done;
+  Buffer.contents buf
+
+let decode_options region =
+  let len = String.length region in
+  let rec loop off acc =
+    if off >= len then Ok (List.rev acc)
+    else
+      match Char.code region.[off] with
+      | 0 -> Ok (List.rev acc) (* end of options *)
+      | 1 -> loop (off + 1) acc (* NOP *)
+      | kind ->
+          if off + 1 >= len then Error "truncated option"
+          else begin
+            let olen = Char.code region.[off + 1] in
+            if olen < 2 || off + olen > len then Error "bad option length"
+            else begin
+              let next = off + olen in
+              match (kind, olen) with
+              | 2, 4 ->
+                  let v = (Char.code region.[off + 2] lsl 8) lor Char.code region.[off + 3] in
+                  loop next (Mss v :: acc)
+              | 3, 3 -> loop next (Window_scale (Char.code region.[off + 2]) :: acc)
+              | 4, 2 -> loop next (Sack_permitted :: acc)
+              | 8, 10 ->
+                  let g32 o =
+                    (Char.code region.[o] lsl 24)
+                    lor (Char.code region.[o + 1] lsl 16)
+                    lor (Char.code region.[o + 2] lsl 8)
+                    lor Char.code region.[o + 3]
+                  in
+                  loop next
+                    (Timestamps { value = g32 (off + 2); echo = g32 (off + 6) } :: acc)
+              | _ -> loop next acc (* unknown option: skipped *)
+            end
+          end
+  in
+  loop 0 []
+
+let encode s =
+  let options = encode_options s.options in
+  let offset_words = 5 + (String.length options / 4) in
+  if offset_words > 15 then invalid_arg "Tcp_wire.encode: options too long";
+  let total = header_len + String.length options + String.length s.payload in
+  let b = Bytes.make total '\000' in
+  set_u16 b 0 s.src_port;
+  set_u16 b 2 s.dst_port;
+  set_u32 b 4 s.seq;
+  set_u32 b 8 s.ack;
+  Bytes.set b 12 (Char.chr (offset_words lsl 4));
+  Bytes.set b 13 (Char.chr (flag_bits s.flags));
+  set_u16 b 14 s.window;
+  (* checksum at 16 starts as zero *)
+  set_u16 b 18 s.urgent;
+  Bytes.blit_string options 0 b header_len (String.length options);
+  Bytes.blit_string s.payload 0 b
+    (header_len + String.length options)
+    (String.length s.payload);
+  let sum = checksum (Bytes.to_string b) in
+  set_u16 b 16 sum;
+  Bytes.to_string b
+
+let decode data =
+  if String.length data < header_len then Error "segment too short"
+  else begin
+    let offset = Char.code data.[12] lsr 4 in
+    if offset < 5 then Error "bad data offset"
+    else if String.length data < offset * 4 then Error "truncated header"
+    else begin
+      let received_sum = get_u16 data 16 in
+      let zeroed = Bytes.of_string data in
+      set_u16 zeroed 16 0;
+      if checksum (Bytes.to_string zeroed) <> received_sum then
+        Error "bad checksum"
+      else begin
+        let options_region = String.sub data header_len ((offset * 4) - header_len) in
+        match decode_options options_region with
+        | Error e -> Error e
+        | Ok options ->
+            Ok
+              {
+                src_port = get_u16 data 0;
+                dst_port = get_u16 data 2;
+                seq = get_u32 data 4;
+                ack = get_u32 data 8;
+                flags = flags_of_bits (Char.code data.[13]);
+                window = get_u16 data 14;
+                urgent = get_u16 data 18;
+                options;
+                payload =
+                  String.sub data (offset * 4) (String.length data - (offset * 4));
+              }
+      end
+    end
+  end

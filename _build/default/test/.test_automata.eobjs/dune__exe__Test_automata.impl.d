@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Array Fmt List Printf Prognosis_automata QCheck2 QCheck_alcotest String

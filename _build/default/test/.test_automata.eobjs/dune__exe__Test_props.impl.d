@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Buffer Char List Prognosis_automata Prognosis_dtls Prognosis_learner Prognosis_quic Prognosis_sul Prognosis_tcp QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sul.ml: Alcotest Array Char List Printf Prognosis_automata Prognosis_sul QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_synthesis.ml: Alcotest Array Ext_mealy Fmt List Prognosis_automata Prognosis_learner Prognosis_sul Prognosis_synthesis Prognosis_tcp String Synthesizer Term

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Array Bytes Char List Prognosis_automata Prognosis_learner Prognosis_sul Prognosis_tcp String Tcp_adapter Tcp_alphabet Tcp_server Tcp_wire

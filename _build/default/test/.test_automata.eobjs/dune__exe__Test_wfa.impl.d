@@ -1,0 +1,1 @@
+test/test_wfa.ml: Alcotest Array Float Int64 List Printf Prognosis_automata Prognosis_learner Prognosis_sul QCheck2 QCheck_alcotest

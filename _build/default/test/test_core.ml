@@ -1,0 +1,263 @@
+(* End-to-end tests of the study pipelines: the same code paths the
+   benchmark harness uses to regenerate the paper's results. *)
+
+module Mealy = Prognosis_automata.Mealy
+module Term = Prognosis_synthesis.Term
+module Ext_mealy = Prognosis_synthesis.Ext_mealy
+open Prognosis
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i = i + n <= h && (String.sub haystack i n = needle || loop (i + 1)) in
+  n = 0 || loop 0
+
+(* --- report --- *)
+
+let report_roundtrip () =
+  let result = Tcp_study.learn ~seed:5L () in
+  let r = result.Tcp_study.report in
+  Alcotest.(check string) "subject" "tcp" r.Report.subject;
+  Alcotest.(check int) "alphabet" 7 r.Report.alphabet;
+  Alcotest.(check int) "row width" (List.length Report.header)
+    (List.length (Report.to_row r));
+  Alcotest.(check int) "paper's trace count" 329_554_456
+    (Report.trace_count r ~max_len:10);
+  Alcotest.(check bool) "pp is nonempty" true
+    (String.length (Fmt.str "%a" Report.pp r) > 20)
+
+(* --- TCP study (E1, E8) --- *)
+
+let tcp_learn_shape () =
+  let result = Tcp_study.learn ~seed:5L () in
+  Alcotest.(check int) "6 states" 6 result.Tcp_study.report.Report.states;
+  Alcotest.(check int) "42 transitions" 42 result.Tcp_study.report.Report.transitions
+
+let tcp_learn_lstar_agrees () =
+  let ttt = Tcp_study.learn ~seed:5L () in
+  let lstar =
+    Tcp_study.learn ~seed:5L ~algorithm:Prognosis_learner.Learn.L_star ()
+  in
+  Alcotest.(check bool) "same model" true
+    (Prognosis_analysis.Model_diff.equivalent ttt.Tcp_study.model
+       lstar.Tcp_study.model)
+
+let tcp_synthesis_handshake_invariant () =
+  let result = Tcp_study.learn ~seed:5L () in
+  let words =
+    Prognosis_tcp.Tcp_alphabet.
+      [ [ Syn; Ack; Ack_psh; Ack_psh ]; [ Syn; Ack_psh; Fin_ack ]; [ Syn; Ack; Fin_ack; Ack ] ]
+  in
+  match Tcp_study.synthesize result words with
+  | Error e -> Alcotest.fail e
+  | Ok machine -> (
+      match
+        Ext_mealy.output_term machine ~state:(Mealy.initial result.Tcp_study.model)
+          ~input:Prognosis_tcp.Tcp_alphabet.Syn ~field:1
+      with
+      | Some (Term.In_field_inc 0) -> ()
+      | Some t -> Alcotest.fail (Fmt.str "ack term %a" Term.pp t)
+      | None -> Alcotest.fail "no ack term for SYN")
+
+let tcp_dot () =
+  let result = Tcp_study.learn ~seed:5L () in
+  Alcotest.(check bool) "dot mentions SYN" true
+    (contains (Tcp_study.model_dot result.Tcp_study.model) "SYN")
+
+(* --- QUIC study (E2, E4-E7) --- *)
+
+let quic_learn_reports () =
+  let result = Quic_study.learn ~seed:5L ~profile:Quic_study.Profile.quiche_like () in
+  let r = result.Quic_study.report in
+  Alcotest.(check string) "subject" "quic:quiche-like" r.Report.subject;
+  Alcotest.(check bool) "enough states" true (r.Report.states >= 4);
+  Alcotest.(check bool) "queries counted" true (r.Report.membership_queries > 0)
+
+let quic_profiles_differ () =
+  let s =
+    Quic_study.compare_profiles ~seed:5L Quic_study.Profile.google_like
+      Quic_study.Profile.strict_retry
+  in
+  Alcotest.(check bool) "not equivalent" false
+    s.Prognosis_analysis.Model_diff.equivalent_;
+  Alcotest.(check bool) "tolerant bigger (Issue 1)" true
+    (s.Prognosis_analysis.Model_diff.states_a
+    > s.Prognosis_analysis.Model_diff.states_b)
+
+let quic_same_profile_equivalent () =
+  (* Learning the same profile from different seeds yields equivalent
+     models: the abstraction hides all randomness. *)
+  let a = Quic_study.learn ~seed:5L ~profile:Quic_study.Profile.quiche_like () in
+  let b = Quic_study.learn ~seed:77L ~profile:Quic_study.Profile.quiche_like () in
+  Alcotest.(check bool) "equivalent" true
+    (Prognosis_analysis.Model_diff.equivalent a.Quic_study.model b.Quic_study.model)
+
+let quic_close_reset_rates () =
+  let compliant = Quic_study.close_reset_rate ~runs:100 Quic_study.Profile.quiche_like in
+  Alcotest.(check (float 0.001)) "compliant rate 1.0" 1.0 compliant;
+  let mvfst = Quic_study.close_reset_rate ~runs:300 Quic_study.Profile.mvfst_like in
+  Alcotest.(check bool)
+    (Printf.sprintf "mvfst rate %.2f near 0.82" mvfst)
+    true
+    (mvfst > 0.72 && mvfst < 0.92)
+
+(* The doubled Initial_crypto satisfies retry-demanding profiles (the
+   second Initial echoes the token) and is a harmless ClientHello
+   retransmission for the others. *)
+let sdb_words =
+  Quic_study.Alphabet.
+    [
+      [ Initial_crypto; Initial_crypto; Handshake_ack_crypto; Short_ack_stream ];
+      [
+        Initial_crypto;
+        Initial_crypto;
+        Handshake_ack_crypto;
+        Short_ack_stream;
+        Short_ack_flow;
+      ];
+      [
+        Initial_crypto;
+        Initial_crypto;
+        Handshake_ack_crypto;
+        Short_ack_flow;
+        Short_ack_stream;
+      ];
+    ]
+
+let quic_sdb_synthesis_compliant () =
+  let result = Quic_study.learn ~seed:5L ~profile:Quic_study.Profile.quiche_like () in
+  match Quic_study.synthesize_sdb result sdb_words with
+  | Error e -> Alcotest.fail e
+  | Ok machine -> (
+      match Quic_study.sdb_verdict machine with
+      | `Symbolic -> ()
+      | `Constant c -> Alcotest.fail (Printf.sprintf "unexpected constant %d" c)
+      | `Unobserved -> Alcotest.fail "sdb never observed")
+
+let quic_sdb_synthesis_google () =
+  let result = Quic_study.learn ~seed:5L ~profile:Quic_study.Profile.google_like () in
+  match Quic_study.synthesize_sdb result sdb_words with
+  | Error e -> Alcotest.fail e
+  | Ok machine -> (
+      match Quic_study.sdb_verdict machine with
+      | `Constant 0 -> ()
+      | `Constant c -> Alcotest.fail (Printf.sprintf "constant %d, wanted 0" c)
+      | `Symbolic -> Alcotest.fail "expected the Issue-4 constant"
+      | `Unobserved -> Alcotest.fail "sdb never observed")
+
+let quic_pn_register_synthesized () =
+  (* The synthesized extended machine recovers the packet-number
+     counter: the pn output field is a register that increments — the
+     App. B.1 style of model, for the quantity "packet number". *)
+  let result = Quic_study.learn ~seed:5L ~profile:Quic_study.Profile.quiche_like () in
+  match Quic_study.synthesize_sdb result sdb_words with
+  | Error e -> Alcotest.fail e
+  | Ok machine ->
+      (* Field 0 is the packet number: somewhere in the machine there
+         must be a register-based pn term and an incrementing update. *)
+      let skeleton = machine.Ext_mealy.skeleton in
+      let reg_output = ref false and inc_update = ref false in
+      for s = 0 to Mealy.size skeleton - 1 do
+        for i = 0 to Mealy.alphabet_size skeleton - 1 do
+          (match machine.Ext_mealy.outputs.(s).(i).(0) with
+          | Some (Term.Reg _ | Term.Reg_inc _) -> reg_output := true
+          | Some _ | None -> ());
+          match machine.Ext_mealy.updates.(s).(i).(0) with
+          | Some (Term.Reg_inc _) -> inc_update := true
+          | Some _ | None -> ()
+        done
+      done;
+      Alcotest.(check bool) "pn expressed through a register" true !reg_output;
+      Alcotest.(check bool) "register increments" true !inc_update
+
+let quic_packet_numbers_increase () =
+  let result = Quic_study.learn ~seed:5L ~profile:Quic_study.Profile.quiche_like () in
+  let seqs = Quic_study.packet_number_sequences result sdb_words in
+  Alcotest.(check bool) "some sequences" true
+    (List.exists (fun s -> List.length s >= 2) seqs);
+  List.iter
+    (fun seq ->
+      Alcotest.(check bool) "increasing" true
+        (Prognosis_analysis.Safety.strictly_increasing seq
+        = Prognosis_analysis.Safety.Holds))
+    seqs
+
+(* --- model persistence --- *)
+
+let persist_roundtrip () =
+  let result = Tcp_study.learn ~seed:5L () in
+  let path = Filename.temp_file "prognosis" ".model" in
+  Persist.save ~path Persist.Tcp_model result.Tcp_study.model;
+  (match Persist.load_tcp ~path with
+  | Error e -> Alcotest.fail e
+  | Ok model ->
+      Alcotest.(check bool) "identical behaviour" true
+        (Prognosis_analysis.Model_diff.equivalent model result.Tcp_study.model));
+  Sys.remove path
+
+let persist_kind_guard () =
+  let result = Tcp_study.learn ~seed:5L () in
+  let path = Filename.temp_file "prognosis" ".model" in
+  Persist.save ~path Persist.Tcp_model result.Tcp_study.model;
+  (match Persist.load_quic ~path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "kind mismatch must be refused");
+  Sys.remove path
+
+let persist_rejects_garbage () =
+  let path = Filename.temp_file "prognosis" ".model" in
+  let oc = open_out path in
+  output_string oc "not a model at all";
+  close_out oc;
+  (match Persist.load_tcp ~path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must be refused");
+  Sys.remove path;
+  match Persist.load_tcp ~path:"/nonexistent/nowhere.model" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file must be an error"
+
+let quic_ncid_property () =
+  (* The ncid-buggy profile violates "sequence numbers increase by 1". *)
+  let learn profile =
+    let result = Quic_study.learn ~seed:5L ~profile () in
+    let _ =
+      Prognosis_sul.Adapter.query result.Quic_study.adapter
+        Quic_study.Alphabet.[ Initial_crypto; Handshake_ack_crypto ]
+    in
+    Prognosis_quic.Quic_client.ncid_sequence_numbers result.Quic_study.client
+  in
+  let buggy = learn Quic_study.Profile.ncid_buggy in
+  Alcotest.(check bool) "buggy violates" true
+    (Prognosis_analysis.Safety.increases_by ~stride:1 buggy
+    <> Prognosis_analysis.Safety.Holds)
+
+let () =
+  Alcotest.run "core"
+    [
+      ("report", [ Alcotest.test_case "roundtrip" `Quick report_roundtrip ]);
+      ( "persist",
+        [
+          Alcotest.test_case "roundtrip" `Slow persist_roundtrip;
+          Alcotest.test_case "kind guard" `Slow persist_kind_guard;
+          Alcotest.test_case "garbage" `Quick persist_rejects_garbage;
+        ] );
+      ( "tcp-study",
+        [
+          Alcotest.test_case "model shape" `Slow tcp_learn_shape;
+          Alcotest.test_case "l* agrees" `Slow tcp_learn_lstar_agrees;
+          Alcotest.test_case "synthesis invariant" `Slow tcp_synthesis_handshake_invariant;
+          Alcotest.test_case "dot" `Slow tcp_dot;
+        ] );
+      ( "quic-study",
+        [
+          Alcotest.test_case "reports" `Slow quic_learn_reports;
+          Alcotest.test_case "profiles differ (issue 1)" `Slow quic_profiles_differ;
+          Alcotest.test_case "seed independence" `Slow quic_same_profile_equivalent;
+          Alcotest.test_case "reset rates (issue 2)" `Slow quic_close_reset_rates;
+          Alcotest.test_case "sdb compliant" `Slow quic_sdb_synthesis_compliant;
+          Alcotest.test_case "sdb google (issue 4)" `Slow quic_sdb_synthesis_google;
+          Alcotest.test_case "packet numbers" `Slow quic_packet_numbers_increase;
+          Alcotest.test_case "pn register synthesized" `Slow quic_pn_register_synthesized;
+          Alcotest.test_case "ncid property" `Slow quic_ncid_property;
+        ] );
+    ]

@@ -1,0 +1,305 @@
+module Mealy = Prognosis_automata.Mealy
+module Sul = Prognosis_sul.Sul
+module Rng = Prognosis_sul.Rng
+module Nondet = Prognosis_sul.Nondet
+module Learn = Prognosis_learner.Learn
+module Eq_oracle = Prognosis_learner.Eq_oracle
+open Prognosis_dtls
+
+(* --- wire codecs --- *)
+
+let handshake_roundtrip () =
+  let h =
+    {
+      Dtls_wire.msg_type = Dtls_wire.Client_hello;
+      message_seq = 3;
+      body = "CR:abcd;COOKIE:";
+    }
+  in
+  match Dtls_wire.decode_handshake (Dtls_wire.encode_handshake h) with
+  | Error e -> Alcotest.fail e
+  | Ok h' ->
+      Alcotest.(check bool) "type" true (h'.Dtls_wire.msg_type = Dtls_wire.Client_hello);
+      Alcotest.(check int) "seq" 3 h'.Dtls_wire.message_seq;
+      Alcotest.(check string) "body" "CR:abcd;COOKIE:" h'.Dtls_wire.body
+
+let handshake_rejects_garbage () =
+  (match Dtls_wire.decode_handshake "xy" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short message accepted");
+  match Dtls_wire.decode_handshake (String.make 12 '\xFF') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown type accepted"
+
+let record_roundtrip_plaintext () =
+  let r =
+    { Dtls_wire.content = Dtls_wire.Handshake; epoch = 0; seq = 42; payload = "data" }
+  in
+  match Dtls_wire.decode_record (Dtls_wire.encode_record r) with
+  | Error e -> Alcotest.fail e
+  | Ok r' ->
+      Alcotest.(check int) "epoch" 0 r'.Dtls_wire.epoch;
+      Alcotest.(check int) "seq" 42 r'.Dtls_wire.seq;
+      Alcotest.(check string) "payload" "data" r'.Dtls_wire.payload
+
+let record_roundtrip_protected () =
+  let c = Dtls_crypto.create () in
+  Dtls_crypto.derive_master c ~client_random:"cr" ~server_random:"sr"
+    ~premaster:"pms";
+  let seal ~epoch ~seq payload =
+    Option.get (Dtls_crypto.seal c Dtls_crypto.Client_write ~epoch ~seq payload)
+  in
+  let unprotect ~epoch ~seq payload =
+    Dtls_crypto.open_ c Dtls_crypto.Client_write ~epoch ~seq payload
+  in
+  let r =
+    { Dtls_wire.content = Dtls_wire.Application_data; epoch = 1; seq = 7; payload = "secret" }
+  in
+  let wire = Dtls_wire.encode_record ~protect:seal r in
+  (* Ciphertext differs from plaintext on the wire. *)
+  Alcotest.(check bool) "protected" true
+    (String.length wire > 13 + 6
+    && String.sub wire 13 6 <> "secret");
+  match Dtls_wire.decode_record ~unprotect wire with
+  | Error e -> Alcotest.fail e
+  | Ok r' -> Alcotest.(check string) "payload" "secret" r'.Dtls_wire.payload
+
+let record_wrong_keys_fail () =
+  let c = Dtls_crypto.create () in
+  Dtls_crypto.derive_master c ~client_random:"cr" ~server_random:"sr" ~premaster:"pms";
+  let other = Dtls_crypto.create () in
+  Dtls_crypto.derive_master other ~client_random:"cr" ~server_random:"XX" ~premaster:"pms";
+  let seal ~epoch ~seq payload =
+    Option.get (Dtls_crypto.seal c Dtls_crypto.Client_write ~epoch ~seq payload)
+  in
+  let wire =
+    Dtls_wire.encode_record ~protect:seal
+      { Dtls_wire.content = Dtls_wire.Application_data; epoch = 1; seq = 0; payload = "x" }
+  in
+  match
+    Dtls_wire.decode_record
+      ~unprotect:(fun ~epoch ~seq payload ->
+        Dtls_crypto.open_ other Dtls_crypto.Client_write ~epoch ~seq payload)
+      wire
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong keys must not decode"
+
+let crypto_directions_differ () =
+  let c = Dtls_crypto.create () in
+  Dtls_crypto.derive_master c ~client_random:"a" ~server_random:"b" ~premaster:"c";
+  Alcotest.(check bool) "verify data per direction" true
+    (Dtls_crypto.verify_data c Dtls_crypto.Client_write
+    <> Dtls_crypto.verify_data c Dtls_crypto.Server_write)
+
+(* --- full handshake through the adapter --- *)
+
+let run_word seed word =
+  let sul = Dtls_adapter.sul ~seed () in
+  List.map Dtls_alphabet.output_to_string (Sul.query sul word)
+
+let full_handshake () =
+  let out =
+    run_word 3L
+      Dtls_alphabet.
+        [
+          Client_hello;
+          Client_hello;
+          Client_key_exchange;
+          Change_cipher_spec;
+          Finished;
+          App_data;
+          Alert_close;
+        ]
+  in
+  Alcotest.(check (list string)) "lifecycle"
+    [
+      "{HELLO_VERIFY_REQUEST}";
+      "{SERVER_HELLO,CERTIFICATE,SERVER_HELLO_DONE}";
+      "NIL";
+      "NIL";
+      "{CCS,FINISHED}";
+      "{APP_DATA}";
+      "{ALERT}";
+    ]
+    out
+
+let echo_service () =
+  let adapter, client = Dtls_adapter.create ~seed:5L () in
+  let _ =
+    Prognosis_sul.Adapter.query adapter
+      Dtls_alphabet.
+        [
+          Client_hello; Client_hello; Client_key_exchange; Change_cipher_spec;
+          Finished; App_data;
+        ]
+  in
+  Alcotest.(check bool) "handshake complete" true (Dtls_client.handshake_complete client);
+  Alcotest.(check string) "uppercased echo" "PING" (Dtls_client.echoed client)
+
+let finished_before_keys_is_nil () =
+  let out = run_word 7L Dtls_alphabet.[ Finished; App_data ] in
+  Alcotest.(check (list string)) "unrealizable" [ "NIL"; "NIL" ] out
+
+let early_ccs_fatal_when_strict () =
+  let out = run_word 9L Dtls_alphabet.[ Client_hello; Client_hello; Change_cipher_spec ] in
+  Alcotest.(check string) "fatal alert" "{ALERT}" (List.nth out 2)
+
+let early_ccs_ignored_when_lenient () =
+  let sul =
+    Dtls_adapter.sul
+      ~server_config:{ Dtls_server.require_cookie = true; strict_ccs = false }
+      ~seed:9L ()
+  in
+  let out =
+    List.map Dtls_alphabet.output_to_string
+      (Sul.query sul Dtls_alphabet.[ Client_hello; Client_hello; Change_cipher_spec ])
+  in
+  Alcotest.(check string) "silently dropped" "NIL" (List.nth out 2)
+
+let no_cookie_config_skips_hvr () =
+  let sul =
+    Dtls_adapter.sul
+      ~server_config:{ Dtls_server.require_cookie = false; strict_ccs = true }
+      ~seed:11L ()
+  in
+  let out =
+    List.map Dtls_alphabet.output_to_string (Sul.query sul [ Dtls_alphabet.Client_hello ])
+  in
+  Alcotest.(check (list string)) "direct flight"
+    [ "{SERVER_HELLO,CERTIFICATE,SERVER_HELLO_DONE}" ]
+    out
+
+let deterministic () =
+  let sul = Dtls_adapter.sul ~seed:13L () in
+  let words =
+    Dtls_alphabet.
+      [
+        [ Client_hello; Client_hello; Client_key_exchange; Change_cipher_spec; Finished ];
+        [ Client_key_exchange; Client_hello; App_data ];
+        [ Client_hello; Alert_close; Client_hello ];
+        [ Change_cipher_spec; Finished; Client_hello ];
+      ]
+  in
+  List.iter
+    (fun w ->
+      match Nondet.query Nondet.default sul w with
+      | Nondet.Deterministic _ -> ()
+      | Nondet.Nondeterministic _ -> Alcotest.fail "DTLS SUL must be deterministic")
+    words
+
+(* --- learning --- *)
+
+let scenarios =
+  Dtls_alphabet.
+    [
+      [ Client_hello; Client_hello; Client_key_exchange; Change_cipher_spec; Finished ];
+      [
+        Client_hello; Client_hello; Client_key_exchange; Change_cipher_spec;
+        Finished; App_data; Alert_close; App_data;
+      ];
+      [ Client_hello; Client_key_exchange; Change_cipher_spec; Finished; App_data ];
+    ]
+
+let learn_dtls ?server_config seed =
+  let sul = Dtls_adapter.sul ?server_config ~seed () in
+  let rng = Rng.create (Int64.add seed 70L) in
+  let eq =
+    Eq_oracle.combine
+      [
+        Eq_oracle.fixed_words scenarios;
+        Eq_oracle.w_method ~extra_states:1 ();
+        Eq_oracle.random_words ~rng ~max_tests:400 ~min_len:1 ~max_len:10;
+      ]
+  in
+  Learn.run ~inputs:Dtls_alphabet.all ~sul ~eq ()
+
+let learned_model_shape () =
+  let r = learn_dtls 17L in
+  let m = r.Learn.model in
+  Alcotest.(check bool)
+    (Printf.sprintf "states %d in [5..14]" (Mealy.size m))
+    true
+    (Mealy.size m >= 5 && Mealy.size m <= 14);
+  (* The model replays the full lifecycle. *)
+  let out =
+    Mealy.run m
+      Dtls_alphabet.
+        [ Client_hello; Client_hello; Client_key_exchange; Change_cipher_spec; Finished ]
+  in
+  Alcotest.(check string) "finish flight" "{CCS,FINISHED}"
+    (Dtls_alphabet.output_to_string (List.nth out 4))
+
+let cookie_configs_learn_different_models () =
+  let with_cookie = learn_dtls 19L in
+  let without =
+    learn_dtls ~server_config:{ Dtls_server.require_cookie = false; strict_ccs = true } 23L
+  in
+  Alcotest.(check bool) "different models" false
+    (Prognosis_analysis.Model_diff.equivalent with_cookie.Learn.model
+       without.Learn.model);
+  Alcotest.(check bool) "cookie model is larger" true
+    (Mealy.size with_cookie.Learn.model > Mealy.size without.Learn.model)
+
+let seed_independent_models () =
+  let a = learn_dtls 29L and b = learn_dtls 31L in
+  Alcotest.(check bool) "equivalent" true
+    (Prognosis_analysis.Model_diff.equivalent a.Learn.model b.Learn.model)
+
+let property_no_appdata_before_finished () =
+  let r = learn_dtls 37L in
+  let prop =
+    Prognosis_analysis.Safety.after_always
+      "no APP_DATA before the server FINISHED"
+      ~trigger:(fun ((_ : Dtls_alphabet.symbol), _) -> true)
+      ~then_:(fun (_, _) -> true)
+  in
+  ignore prop;
+  (* Stronger direct check: in the learned model, every transition that
+     outputs APP_DATA is preceded by one outputting FINISHED on every
+     path from the initial state. Approximate with the monitor: APP_DATA
+     output before any FINISHED output violates. *)
+  let seen_finished o = List.mem Dtls_alphabet.A_finished o in
+  let has_appdata o = List.mem Dtls_alphabet.A_app_data o in
+  let monitor =
+    Prognosis_automata.Dfa.make ~size:3 ~initial:0
+      ~delta:(fun s (_, o) ->
+        match s with
+        | 0 -> if has_appdata o then 2 else if seen_finished o then 1 else 0
+        | s -> s)
+      ~accepting:(fun s -> s <> 2)
+  in
+  let prop = Prognosis_analysis.Safety.of_monitor "appdata only after finished" monitor in
+  Alcotest.(check (option (list pass))) "holds" None
+    (Prognosis_analysis.Safety.check prop r.Learn.model)
+
+let () =
+  Alcotest.run "dtls"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "handshake roundtrip" `Quick handshake_roundtrip;
+          Alcotest.test_case "handshake garbage" `Quick handshake_rejects_garbage;
+          Alcotest.test_case "record plaintext" `Quick record_roundtrip_plaintext;
+          Alcotest.test_case "record protected" `Quick record_roundtrip_protected;
+          Alcotest.test_case "wrong keys" `Quick record_wrong_keys_fail;
+          Alcotest.test_case "directions differ" `Quick crypto_directions_differ;
+        ] );
+      ( "connection",
+        [
+          Alcotest.test_case "full handshake" `Quick full_handshake;
+          Alcotest.test_case "echo service" `Quick echo_service;
+          Alcotest.test_case "finished before keys" `Quick finished_before_keys_is_nil;
+          Alcotest.test_case "early ccs strict" `Quick early_ccs_fatal_when_strict;
+          Alcotest.test_case "early ccs lenient" `Quick early_ccs_ignored_when_lenient;
+          Alcotest.test_case "no-cookie config" `Quick no_cookie_config_skips_hvr;
+          Alcotest.test_case "deterministic" `Quick deterministic;
+        ] );
+      ( "learning",
+        [
+          Alcotest.test_case "model shape" `Slow learned_model_shape;
+          Alcotest.test_case "cookie configs differ" `Slow cookie_configs_learn_different_models;
+          Alcotest.test_case "seed independent" `Slow seed_independent_models;
+          Alcotest.test_case "appdata after finished" `Slow property_no_appdata_before_finished;
+        ] );
+    ]

@@ -1,0 +1,159 @@
+module Wfa = Prognosis_learner.Wfa
+module Mealy = Prognosis_automata.Mealy
+module Rng = Prognosis_sul.Rng
+
+let check_close msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %g ~ %g" msg expected actual)
+    true
+    (Float.abs (expected -. actual) <= 1e-6 *. (1.0 +. Float.abs expected))
+
+(* A hand-built WFA: counts occurrences of 'a' in the word.
+   dim 2: state vector (1, count). Reading 'a' adds 1 to count. *)
+let count_a =
+  Wfa.make ~alphabet:[| 'a'; 'b' |]
+    ~initial:[| 1.0; 0.0 |]
+    ~transitions:
+      [|
+        [| [| 1.0; 1.0 |]; [| 0.0; 1.0 |] |] (* a *);
+        [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |] (* b *);
+      |]
+    ~final:[| 0.0; 1.0 |]
+
+let evaluate_counts () =
+  check_close "empty" 0.0 (Wfa.evaluate count_a []);
+  check_close "aba" 2.0 (Wfa.evaluate count_a [ 'a'; 'b'; 'a' ]);
+  check_close "bbb" 0.0 (Wfa.evaluate count_a [ 'b'; 'b'; 'b' ]);
+  check_close "aaaa" 4.0 (Wfa.evaluate count_a [ 'a'; 'a'; 'a'; 'a' ])
+
+let make_validates () =
+  Alcotest.check_raises "shape" (Invalid_argument "Wfa.make: transition matrix shape")
+    (fun () ->
+      ignore
+        (Wfa.make ~alphabet:[| 'a' |] ~initial:[| 1.0; 0.0 |]
+           ~transitions:[| [| [| 1.0 |] |] |]
+           ~final:[| 0.0; 1.0 |]))
+
+let learn_from target ~seed =
+  let mq w = Wfa.evaluate target w in
+  let rng = Rng.create seed in
+  let eq =
+    Wfa.random_eq ~rng ~mq ~tolerance:1e-6 ~max_tests:400 ~max_len:8
+      [| 'a'; 'b' |]
+  in
+  Wfa.learn ~alphabet:[| 'a'; 'b' |] ~mq ~eq ()
+
+let agree ~seed a b =
+  let rng = Rng.create seed in
+  let ok = ref true in
+  for _ = 1 to 300 do
+    let len = Rng.int rng 10 in
+    let w = List.init len (fun _ -> if Rng.bool rng 0.5 then 'a' else 'b') in
+    let va = Wfa.evaluate a w and vb = Wfa.evaluate b w in
+    if Float.abs (va -. vb) > 1e-5 *. (1.0 +. Float.abs va) then ok := false
+  done;
+  !ok
+
+let learn_counter () =
+  match learn_from count_a ~seed:3L with
+  | Error e -> Alcotest.fail e
+  | Ok learned ->
+      Alcotest.(check bool) "agrees with target" true (agree ~seed:7L learned count_a);
+      Alcotest.(check bool)
+        (Printf.sprintf "minimal-ish dimension %d <= 2" (Wfa.states learned))
+        true
+        (Wfa.states learned <= 2)
+
+(* Weighted language: f(w) = 2^{#a(w)} — a genuinely multiplicative
+   behaviour (dim 1). *)
+let pow2_a =
+  Wfa.make ~alphabet:[| 'a'; 'b' |] ~initial:[| 1.0 |]
+    ~transitions:[| [| [| 2.0 |] |]; [| [| 1.0 |] |] |]
+    ~final:[| 1.0 |]
+
+let learn_multiplicative () =
+  match learn_from pow2_a ~seed:11L with
+  | Error e -> Alcotest.fail e
+  | Ok learned ->
+      Alcotest.(check bool) "agrees" true (agree ~seed:13L learned pow2_a);
+      Alcotest.(check int) "dimension 1" 1 (Wfa.states learned)
+
+let gen_small_wfa =
+  QCheck2.Gen.(
+    let entry = map float_of_int (int_range (-2) 2) in
+    let* dim = int_range 1 3 in
+    let matrix = array_size (return dim) (array_size (return dim) entry) in
+    let* transitions = array_size (return 2) matrix in
+    let* final = array_size (return dim) entry in
+    let initial = Array.init dim (fun i -> if i = 0 then 1.0 else 0.0) in
+    return (Wfa.make ~alphabet:[| 'a'; 'b' |] ~initial ~transitions ~final))
+
+let prop_learn_random_wfas =
+  QCheck2.Test.make ~count:40 ~name:"hankel learning recovers random WFAs"
+    QCheck2.Gen.(pair gen_small_wfa (int_range 0 10000))
+    (fun (target, seed) ->
+      match learn_from target ~seed:(Int64.of_int seed) with
+      | Error _ -> false
+      | Ok learned ->
+          agree ~seed:(Int64.of_int (seed + 1)) learned target
+          && Wfa.states learned <= Wfa.states target)
+
+(* --- the quantitative protocol function (paper §8) --- *)
+
+(* Deterministic 3-state skeleton: 'c' closes (state 2); probes in the
+   closed state draw a reset with probability 0.82. *)
+let skeleton =
+  Mealy.make ~size:3 ~initial:0 ~inputs:[| 'p'; 'c' |]
+    ~delta:[| [| 1; 2 |]; [| 1; 2 |]; [| 2; 2 |] |]
+    ~lambda:[| [| "ok"; "close" |]; [| "ok"; "close" |]; [| "?"; "?" |] |]
+
+let reset_weight ~state ~input =
+  if state = 2 && input = 'p' then 0.82 else 0.0
+
+let expected_resets w = Wfa.expected_count ~skeleton ~weight:reset_weight w
+
+let expected_count_values () =
+  check_close "no close" 0.0 (expected_resets [ 'p'; 'p' ]);
+  check_close "three probes after close" (3. *. 0.82)
+    (expected_resets [ 'c'; 'p'; 'p'; 'p' ]);
+  check_close "close twice" 0.82 (expected_resets [ 'c'; 'c'; 'p' ])
+
+let learn_expected_resets () =
+  let rng = Rng.create 21L in
+  let eq =
+    Wfa.random_eq ~rng ~mq:expected_resets ~tolerance:1e-6 ~max_tests:500
+      ~max_len:10
+      [| 'p'; 'c' |]
+  in
+  match Wfa.learn ~alphabet:[| 'p'; 'c' |] ~mq:expected_resets ~eq () with
+  | Error e -> Alcotest.fail e
+  | Ok learned ->
+      check_close "predicts 5 probes" (5. *. 0.82)
+        (Wfa.evaluate learned [ 'c'; 'p'; 'p'; 'p'; 'p'; 'p' ]);
+      check_close "predicts pre-close silence" 0.0
+        (Wfa.evaluate learned [ 'p'; 'p'; 'p' ]);
+      Alcotest.(check bool)
+        (Printf.sprintf "compact model (%d states)" (Wfa.states learned))
+        true
+        (Wfa.states learned <= 4)
+
+let () =
+  Alcotest.run "wfa"
+    [
+      ( "evaluate",
+        [
+          Alcotest.test_case "counting WFA" `Quick evaluate_counts;
+          Alcotest.test_case "validation" `Quick make_validates;
+        ] );
+      ( "learning",
+        [
+          Alcotest.test_case "counter" `Quick learn_counter;
+          Alcotest.test_case "multiplicative" `Quick learn_multiplicative;
+          QCheck_alcotest.to_alcotest prop_learn_random_wfas;
+        ] );
+      ( "quantitative",
+        [
+          Alcotest.test_case "expected-count function" `Quick expected_count_values;
+          Alcotest.test_case "learn expected resets" `Quick learn_expected_resets;
+        ] );
+    ]
