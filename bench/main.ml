@@ -917,7 +917,48 @@ let benchmarks () =
   let rows = List.sort (fun (_, a, _) (_, b, _) -> compare a b) rows in
   print_table
     [ "benchmark"; "time/run" ]
-    (List.map (fun (name, _, pretty) -> [ name; pretty ]) rows)
+    (List.map (fun (name, _, pretty) -> [ name; pretty ]) rows);
+  rows
+
+(* --- BENCH_run.json: machine-readable snapshot of the whole run ---
+
+   Same schema family as the CLI's --metrics-out (prognosis.report/1
+   objects plus a metrics snapshot), so the perf trajectory is
+   trackable across PRs by diffing these files. *)
+
+let write_snapshot bench_rows =
+  let module Jsonx = Prognosis_obs.Jsonx in
+  let module Metrics = Prognosis_obs.Metrics in
+  let report r = Report.to_json r in
+  let reports =
+    [
+      report (Lazy.force tcp_ttt).Tcp_study.report;
+      report (Lazy.force tcp_lstar).Tcp_study.report;
+      report (Lazy.force quic_tolerant).Quic_study.report;
+      report (Lazy.force quic_strict).Quic_study.report;
+      report (Lazy.force quic_quiche).Quic_study.report;
+    ]
+  in
+  let benchmarks =
+    List.map
+      (fun (name, estimate_ns, _) -> (name, Jsonx.Float estimate_ns))
+      (List.sort (fun (a, _, _) (b, _, _) -> compare a b) bench_rows)
+  in
+  let json =
+    Jsonx.Obj
+      [
+        ("schema", Jsonx.String "prognosis.bench/1");
+        ("reports", Jsonx.List reports);
+        ("benchmarks_ns_per_run", Jsonx.Obj benchmarks);
+        ("metrics", Metrics.to_json Metrics.default);
+      ]
+  in
+  let path = "BENCH_run.json" in
+  let oc = open_out path in
+  output_string oc (Jsonx.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "snapshot written to %s\n" path
 
 let () =
   print_endline "Prognosis reproduction: experiment harness";
@@ -943,5 +984,6 @@ let () =
   x3_client_role ();
   x4_interop_matrix ();
   figs ();
-  benchmarks ();
+  let bench_rows = benchmarks () in
+  write_snapshot bench_rows;
   print_newline ()

@@ -60,7 +60,20 @@ let or_die = function
 
 (* --- learn --- *)
 
-let do_learn () protocol profile_name seed algorithm dot_out save_out =
+let do_learn () protocol profile_name seed algorithm dot_out save_out trace_out
+    metrics_out =
+  (* Telemetry: zero the process-wide registry so the metrics snapshot
+     describes exactly this run, and tee spans into a JSONL file when
+     asked (docs/OBSERVABILITY.md documents both formats). *)
+  Prognosis_obs.Metrics.reset Prognosis_obs.Metrics.default;
+  (match trace_out with
+  | None -> ()
+  | Some path -> (
+      try Prognosis_obs.Trace.set_sink (Prognosis_obs.Trace.Sink.jsonl_file path)
+      with Sys_error msg -> or_die (Error ("cannot open trace file: " ^ msg))));
+  let finally () =
+    if trace_out <> None then Prognosis_obs.Trace.unset_sink ()
+  in
   let report, dot, save =
     try
       match protocol with
@@ -94,9 +107,25 @@ let do_learn () protocol profile_name seed algorithm dot_out save_out =
              ("nondeterministic implementation: " ^ msg
             ^ ". Investigate with `prognosis nondet`."))
   in
+  finally ();
   Format.printf "%a@." Report.pp report;
   Format.printf "traces of length <= 10 over this alphabet: %d@."
     (Report.trace_count report ~max_len:10);
+  (match trace_out with
+  | None -> ()
+  | Some path -> Format.printf "trace written to %s@." path);
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+      let oc =
+        try open_out path
+        with Sys_error msg -> or_die (Error ("cannot open metrics file: " ^ msg))
+      in
+      output_string oc
+        (Report.to_json_string ~metrics:Prognosis_obs.Metrics.default report);
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "metrics written to %s@." path);
   (match dot_out with
   | None -> ()
   | Some path ->
@@ -112,13 +141,27 @@ let save_out =
   let doc = "Persist the learned model to $(docv) for later replay." in
   Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
 
+let trace_out =
+  let doc =
+    "Write a JSONL span trace of the run (learner rounds, membership \
+     queries, network fault events) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_out =
+  let doc =
+    "Write the machine-readable report with a metrics snapshot (query-latency \
+     histogram quantiles, cache hit rate, fault counters) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
 let learn_cmd =
   let doc = "Learn a Mealy-machine model of a protocol implementation." in
   Cmd.v
     (Cmd.info "learn" ~doc)
     Term.(
       const do_learn $ verbose $ protocol $ profile_arg $ seed $ algorithm
-      $ dot_out $ save_out)
+      $ dot_out $ save_out $ trace_out $ metrics_out)
 
 (* --- compare --- *)
 

@@ -10,7 +10,10 @@ type t = {
   transitions : int;
   membership_queries : int;  (** queries that reached the SUL *)
   membership_symbols : int;
-  cache_hits : int;
+  cache_hits : int;  (** from the query cache, the authoritative source *)
+  cache_misses : int;
+      (** equals [membership_queries] when learning ran with the cache;
+          the driver asserts this *)
   equivalence_rounds : int;
   test_words : int;  (** words spent by equivalence testing *)
   alphabet : int;
@@ -26,8 +29,19 @@ val trace_count : t -> max_len:int -> int
 (** Number of input words of length ≤ [max_len] over this alphabet
     (the exhaustive-exploration cost the paper contrasts with). *)
 
+val cache_hit_rate : t -> float
+(** hits / (hits + misses); 0 when the cache was unused. *)
+
 val pp : Format.formatter -> t -> unit
 val to_row : t -> string list
 
 val header : string list
 (** Column names matching {!to_row}. *)
+
+val to_json : ?metrics:Prognosis_obs.Metrics.t -> t -> Prognosis_obs.Jsonx.t
+(** Machine-readable report ([schema] field ["prognosis.report/1"]).
+    With [?metrics], folds a snapshot of the given registry into a
+    ["metrics"] field — the same shape the CLI's [--metrics-out] and
+    the bench harness's [BENCH_run.json] use. *)
+
+val to_json_string : ?metrics:Prognosis_obs.Metrics.t -> t -> string

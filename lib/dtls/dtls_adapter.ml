@@ -8,7 +8,7 @@ let create ?server_config ?(network = Network.reliable) ~seed () =
   let rng = Rng.create seed in
   let server = Dtls_server.create ?config:server_config (Rng.split rng) in
   let client = Dtls_client.create (Rng.split rng) in
-  let channel = Network.create ~config:network (Rng.split rng) in
+  let channel = Network.create ~config:network ~seed (Rng.split rng) in
   let reset () =
     Dtls_server.reset server;
     Dtls_client.reset client

@@ -1,3 +1,5 @@
+module Metrics = Prognosis_obs.Metrics
+
 type ('i, 'o) node = {
   children : ('i, ('i, 'o) node) Hashtbl.t;
   mutable output : 'o option; (* output produced on the edge into this node *)
@@ -58,16 +60,23 @@ let size t = t.nodes
 let hits t = t.hits
 let misses t = t.misses
 
+let m_hits = Metrics.counter Metrics.default "cache.hits"
+let m_misses = Metrics.counter Metrics.default "cache.misses"
+let g_nodes = Metrics.gauge Metrics.default "cache.nodes"
+
 let wrap t (mq : ('i, 'o) Oracle.membership) =
   let ask word =
     match lookup t word with
     | Some answer ->
         t.hits <- t.hits + 1;
+        Metrics.inc m_hits;
         answer
     | None ->
         t.misses <- t.misses + 1;
+        Metrics.inc m_misses;
         let answer = mq.ask word in
         insert t word answer;
+        Metrics.set g_nodes (float_of_int t.nodes);
         answer
   in
   { mq with Oracle.ask }

@@ -1,14 +1,28 @@
 module Mealy = Prognosis_automata.Mealy
 module Testing = Prognosis_automata.Testing
 module Rng = Prognosis_sul.Rng
+module Metrics = Prognosis_obs.Metrics
+module Trace = Prognosis_obs.Trace
+
+let m_test_words = Metrics.counter Metrics.default "eq.test_words"
+let m_counterexamples = Metrics.counter Metrics.default "eq.counterexamples"
 
 let check_word (mq : ('i, 'o) Oracle.membership) h word =
   if word = [] then None
   else begin
     mq.Oracle.stats.test_words <- mq.Oracle.stats.test_words + 1;
+    Metrics.inc m_test_words;
     let sul_out = mq.ask word in
     let hyp_out = Mealy.run h word in
-    if sul_out <> hyp_out then Some word else None
+    if sul_out <> hyp_out then begin
+      Metrics.inc m_counterexamples;
+      if Trace.enabled () then
+        Trace.event
+          ~attrs:[ ("len", Prognosis_obs.Jsonx.Int (List.length word)) ]
+          "eq.counterexample";
+      Some word
+    end
+    else None
   end
 
 let check_suite mq h suite =

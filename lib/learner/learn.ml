@@ -1,3 +1,7 @@
+module Metrics = Prognosis_obs.Metrics
+module Trace = Prognosis_obs.Trace
+module Jsonx = Prognosis_obs.Jsonx
+
 let src = Logs.Src.create "prognosis.learn" ~doc:"Learning driver"
 
 module Log = (val Logs.src_log src : Logs.LOG)
@@ -12,6 +16,10 @@ type ('i, 'o) result = {
   cache_misses : int;
 }
 
+let algorithm_label = function L_star -> "lstar" | Ttt_tree -> "ttt"
+
+let g_hit_rate = Metrics.gauge Metrics.default "learn.cache_hit_rate"
+
 let dispatch algorithm ?max_rounds ~inputs ~mq ~eq () =
   match algorithm with
   | L_star -> Lstar.learn ?max_rounds ~inputs ~mq ~eq ()
@@ -25,27 +33,75 @@ let log_result name (model : ('i, 'o) Prognosis_automata.Mealy.t) rounds
         (Prognosis_automata.Mealy.transitions model)
         stats.Oracle.membership_queries rounds)
 
+let learn_span ~algorithm ~subject ~cache f =
+  Trace.with_span
+    ~attrs:
+      [
+        ("algorithm", Jsonx.String (algorithm_label algorithm));
+        ("subject", Jsonx.String subject);
+        ("cache", Jsonx.Bool cache);
+      ]
+    "learn" f
+
+let finish_span (r : ('i, 'o) result) =
+  Trace.add_attr "states"
+    (Jsonx.Int (Prognosis_automata.Mealy.size r.model));
+  Trace.add_attr "rounds" (Jsonx.Int r.rounds);
+  Trace.add_attr "membership_queries"
+    (Jsonx.Int r.stats.Oracle.membership_queries);
+  Trace.add_attr "cache_hits" (Jsonx.Int r.cache_hits);
+  r
+
 let run_mq ?(algorithm = Ttt_tree) ?max_rounds ~inputs ~mq ~eq () =
-  let model, rounds = dispatch algorithm ?max_rounds ~inputs ~mq ~eq () in
-  log_result "run_mq" model rounds mq.Oracle.stats;
-  { model; rounds; stats = mq.Oracle.stats; cache_hits = 0; cache_misses = 0 }
+  learn_span ~algorithm ~subject:"mq" ~cache:false (fun () ->
+      let model, rounds = dispatch algorithm ?max_rounds ~inputs ~mq ~eq () in
+      log_result "run_mq" model rounds mq.Oracle.stats;
+      finish_span
+        {
+          model;
+          rounds;
+          stats = mq.Oracle.stats;
+          cache_hits = 0;
+          cache_misses = 0;
+        })
 
 let run ?(algorithm = Ttt_tree) ?max_rounds ?(cache = true) ~inputs ~sul ~eq () =
-  let raw = Oracle.of_sul sul in
-  if cache then begin
-    let c = Cache.create () in
-    let mq = Cache.wrap c raw in
-    let model, rounds = dispatch algorithm ?max_rounds ~inputs ~mq ~eq () in
-    log_result sul.Prognosis_sul.Sul.description model rounds raw.Oracle.stats;
-    {
-      model;
-      rounds;
-      stats = raw.Oracle.stats;
-      cache_hits = Cache.hits c;
-      cache_misses = Cache.misses c;
-    }
-  end
-  else begin
-    let model, rounds = dispatch algorithm ?max_rounds ~inputs ~mq:raw ~eq () in
-    { model; rounds; stats = raw.Oracle.stats; cache_hits = 0; cache_misses = 0 }
-  end
+  let subject = sul.Prognosis_sul.Sul.description in
+  learn_span ~algorithm ~subject ~cache (fun () ->
+      let raw = Oracle.of_sul sul in
+      if cache then begin
+        let c = Cache.create () in
+        let mq = Cache.wrap c raw in
+        let model, rounds = dispatch algorithm ?max_rounds ~inputs ~mq ~eq () in
+        log_result subject model rounds raw.Oracle.stats;
+        (* The cache is the single gate in front of the SUL: the raw
+           oracle only ever answers cache misses, so the two counts
+           must agree — a violation means some layer double-counted or
+           bypassed the cache (see docs/OBSERVABILITY.md). *)
+        assert (raw.Oracle.stats.Oracle.membership_queries = Cache.misses c);
+        let hits = Cache.hits c and misses = Cache.misses c in
+        if hits + misses > 0 then
+          Metrics.set g_hit_rate
+            (float_of_int hits /. float_of_int (hits + misses));
+        finish_span
+          {
+            model;
+            rounds;
+            stats = raw.Oracle.stats;
+            cache_hits = hits;
+            cache_misses = misses;
+          }
+      end
+      else begin
+        let model, rounds =
+          dispatch algorithm ?max_rounds ~inputs ~mq:raw ~eq ()
+        in
+        finish_span
+          {
+            model;
+            rounds;
+            stats = raw.Oracle.stats;
+            cache_hits = 0;
+            cache_misses = 0;
+          }
+      end)

@@ -24,8 +24,10 @@ val run :
   unit ->
   ('i, 'o) result
 (** Learns a model of [sul]. Defaults: TTT, caching on, 200 rounds.
-    Statistics count the queries that actually reached the SUL
-    (cache hits are reported separately). *)
+    Statistics count the queries that actually reached the SUL (cache
+    hits are reported separately; with caching on, the driver checks
+    [stats.membership_queries = cache_misses]). The whole run executes
+    inside a ["learn"] span when {!Prognosis_obs.Trace} has a sink. *)
 
 val run_mq :
   ?algorithm:algorithm ->

@@ -1,4 +1,11 @@
 module Mealy = Prognosis_automata.Mealy
+module Metrics = Prognosis_obs.Metrics
+module Trace = Prognosis_obs.Trace
+module Jsonx = Prognosis_obs.Jsonx
+
+let m_rounds = Metrics.counter Metrics.default "learner.rounds"
+let m_cex = Metrics.counter Metrics.default "learner.counterexamples"
+let h_cex_len = Metrics.histogram Metrics.default "learner.cex_length"
 
 type ('i, 'o) state = {
   inputs : 'i array;
@@ -97,13 +104,33 @@ let learn ?(max_rounds = 100) ~inputs ~mq ~eq () =
   let t = create ~inputs mq in
   let rec loop round =
     if round > max_rounds then failwith "Lstar.learn: max_rounds exceeded";
-    let h = hypothesis t in
-    mq.Oracle.stats.equivalence_queries <-
-      mq.Oracle.stats.equivalence_queries + 1;
-    match eq mq h with
+    Metrics.inc m_rounds;
+    let h, cex =
+      Trace.with_span
+        ~attrs:
+          [ ("algorithm", Jsonx.String "lstar"); ("round", Jsonx.Int round) ]
+        "learner.round"
+        (fun () ->
+          let h =
+            Trace.with_span "learner.hypothesis" (fun () -> hypothesis t)
+          in
+          Trace.add_attr "hypothesis_states" (Jsonx.Int (Mealy.size h));
+          Trace.add_attr "table_rows" (Jsonx.Int (rows t));
+          Trace.add_attr "table_columns" (Jsonx.Int (columns t));
+          mq.Oracle.stats.equivalence_queries <-
+            mq.Oracle.stats.equivalence_queries + 1;
+          let cex = Trace.with_span "learner.eq_query" (fun () -> eq mq h) in
+          (h, cex))
+    in
+    match cex with
     | None -> (h, round)
     | Some cex ->
-        refine t cex;
+        Metrics.inc m_cex;
+        Metrics.observe h_cex_len (float_of_int (List.length cex));
+        Trace.with_span
+          ~attrs:[ ("cex_len", Jsonx.Int (List.length cex)) ]
+          "learner.refine"
+          (fun () -> refine t cex);
         loop (round + 1)
   in
   loop 1

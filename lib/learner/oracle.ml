@@ -1,3 +1,7 @@
+module Metrics = Prognosis_obs.Metrics
+module Trace = Prognosis_obs.Trace
+module Clock = Prognosis_obs.Clock
+
 type stats = {
   mutable membership_queries : int;
   mutable membership_symbols : int;
@@ -15,12 +19,33 @@ let fresh_stats () =
 
 type ('i, 'o) membership = { ask : 'i list -> 'o list; stats : stats }
 
+let m_queries = Metrics.counter Metrics.default "oracle.membership_queries"
+let m_symbols = Metrics.counter Metrics.default "oracle.membership_symbols"
+let h_latency = Metrics.histogram Metrics.default "oracle.mq_latency_ns"
+
+(* Every query through [of_fun] is one that reaches the underlying
+   function (the SUL, or the nondeterminism check around it): cache
+   layers sit *above* this oracle and short-circuit before [ask] runs,
+   which is what keeps [membership_queries] an exact count of queries
+   the SUL actually served. *)
 let of_fun ?stats f =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
   let ask word =
     stats.membership_queries <- stats.membership_queries + 1;
     stats.membership_symbols <- stats.membership_symbols + List.length word;
-    f word
+    Metrics.inc m_queries;
+    Metrics.inc ~by:(List.length word) m_symbols;
+    let t0 = Clock.now_ns () in
+    let answer =
+      if Trace.enabled () then
+        Trace.with_span
+          ~attrs:[ ("len", Prognosis_obs.Jsonx.Int (List.length word)) ]
+          "oracle.mq"
+          (fun () -> f word)
+      else f word
+    in
+    Metrics.observe_ns h_latency (Int64.sub (Clock.now_ns ()) t0);
+    answer
   in
   { ask; stats }
 

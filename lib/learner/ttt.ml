@@ -1,4 +1,13 @@
 module Mealy = Prognosis_automata.Mealy
+module Metrics = Prognosis_obs.Metrics
+module Trace = Prognosis_obs.Trace
+module Jsonx = Prognosis_obs.Jsonx
+
+(* Same registry entries as Lstar: [Metrics.counter] is get-or-create,
+   so both algorithms report into one set of learner metrics. *)
+let m_rounds = Metrics.counter Metrics.default "learner.rounds"
+let m_cex = Metrics.counter Metrics.default "learner.counterexamples"
+let h_cex_len = Metrics.histogram Metrics.default "learner.cex_length"
 
 type ('i, 'o) cell = { mutable contents : ('i, 'o) contents }
 
@@ -202,13 +211,34 @@ let learn ?(max_rounds = 200) ~inputs ~mq ~eq () =
   let t = create ~inputs mq in
   let rec loop round =
     if round > max_rounds then failwith "Ttt.learn: max_rounds exceeded";
-    let h = hypothesis t in
-    mq.Oracle.stats.equivalence_queries <-
-      mq.Oracle.stats.equivalence_queries + 1;
-    match eq mq h with
+    Metrics.inc m_rounds;
+    let h, cex =
+      Trace.with_span
+        ~attrs:[ ("algorithm", Jsonx.String "ttt"); ("round", Jsonx.Int round) ]
+        "learner.round"
+        (fun () ->
+          let h =
+            Trace.with_span "learner.hypothesis" (fun () -> hypothesis t)
+          in
+          Trace.add_attr "hypothesis_states" (Jsonx.Int (Mealy.size h));
+          Trace.add_attr "tree_leaves" (Jsonx.Int (leaves t));
+          mq.Oracle.stats.equivalence_queries <-
+            mq.Oracle.stats.equivalence_queries + 1;
+          let cex = Trace.with_span "learner.eq_query" (fun () -> eq mq h) in
+          (h, cex))
+    in
+    match cex with
     | None -> (h, round)
     | Some cex ->
-        if refine t cex then loop (round + 1)
+        Metrics.inc m_cex;
+        Metrics.observe h_cex_len (float_of_int (List.length cex));
+        let usable =
+          Trace.with_span
+            ~attrs:[ ("cex_len", Jsonx.Int (List.length cex)) ]
+            "learner.refine"
+            (fun () -> refine t cex)
+        in
+        if usable then loop (round + 1)
         else failwith "Ttt.learn: unusable counterexample (nondeterministic SUL?)"
   in
   loop 1

@@ -1,0 +1,20 @@
+(* Nanosecond timestamps for spans and latency histograms. The source
+   is replaceable so tests can drive time deterministically; the
+   default derives from the wall clock but is clamped to be
+   non-decreasing, which is the property span arithmetic relies on. *)
+
+let wall_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let source = ref wall_ns
+let last = ref 0L
+
+let now_ns () =
+  let t = !source () in
+  if Int64.compare t !last > 0 then last := t;
+  !last
+
+let set_source f =
+  source := f;
+  last := 0L
+
+let use_wall_clock () = set_source wall_ns

@@ -1,0 +1,12 @@
+(** Monotonic nanosecond clock for the tracer and latency metrics. *)
+
+val now_ns : unit -> int64
+(** Current timestamp. Guaranteed non-decreasing across calls even if
+    the underlying source steps backwards. *)
+
+val set_source : (unit -> int64) -> unit
+(** Replace the time source (tests install a deterministic counter).
+    Resets the monotonicity clamp. *)
+
+val use_wall_clock : unit -> unit
+(** Restore the default wall-clock-derived source. *)

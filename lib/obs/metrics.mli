@@ -1,0 +1,59 @@
+(** Metrics registry: counters, gauges and log-scale latency
+    histograms, snapshotted to JSON.
+
+    Instrumentation sites obtain a metric once (get-or-create by name)
+    and then update it through a bare ref, so the hot-path cost is a
+    single write. {!reset} zeroes metrics in place, keeping previously
+    obtained handles valid. *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry all built-in instrumentation reports to. *)
+
+val counter : t -> string -> int ref
+val gauge : t -> string -> float ref
+
+val inc : ?by:int -> int ref -> unit
+val set : float ref -> float -> unit
+
+(** {2 Histograms} *)
+
+type histogram
+
+val histogram : t -> string -> histogram
+
+val observe : histogram -> float -> unit
+val observe_ns : histogram -> int64 -> unit
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [0, 1]: upper bound of the bucket holding
+    the rank-[q] observation, clamped to the observed maximum; [nan]
+    when empty. Buckets are log-scale, 5 per decade, so the estimate
+    overshoots by at most a factor of 10^(1/5) ~ 1.58. *)
+
+val mean : histogram -> float
+
+val bucket_index : float -> int
+(** Bucket for a value: 0 covers (0, 1]; bucket [i >= 1] covers
+    (10^((i-1)/5), 10^(i/5)]. Exposed for tests. *)
+
+val bucket_upper : int -> float
+(** Upper bound of a bucket. Exposed for tests. *)
+
+(** {2 Snapshots} *)
+
+val reset : t -> unit
+(** Zero every metric in place. *)
+
+val to_json : t -> Jsonx.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {name:
+    {count,sum,min,max,mean,p50,p90,p99}}}] with names sorted. *)
+
+val to_json_string : t -> string
+
+val write_file : t -> string -> unit
+(** Write {!to_json_string} (plus newline) to a file. *)

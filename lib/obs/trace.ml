@@ -1,0 +1,121 @@
+(* Structured run tracing: nested spans and point events, emitted as
+   one JSON object per line to a pluggable sink. Records are written
+   when a span closes, so children precede their parents in the file;
+   the [id]/[parent] fields (allocated in creation order) recover the
+   tree and the original ordering. *)
+
+type sink = {
+  emit : Jsonx.t -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+module Sink = struct
+  let make ?(flush = ignore) ?(close = ignore) emit = { emit; flush; close }
+
+  let jsonl_file path =
+    let oc = open_out path in
+    {
+      emit =
+        (fun j ->
+          output_string oc (Jsonx.to_string j);
+          output_char oc '\n');
+      flush = (fun () -> Stdlib.flush oc);
+      close = (fun () -> close_out oc);
+    }
+
+  let memory () =
+    let records = ref [] in
+    ( { emit = (fun j -> records := j :: !records); flush = ignore; close = ignore },
+      fun () -> List.rev !records )
+end
+
+type span = {
+  id : int;
+  name : string;
+  parent : int option;
+  start : int64;
+  mutable attrs : (string * Jsonx.t) list;
+}
+
+let sink : sink option ref = ref None
+let stack : span list ref = ref []
+let seq = ref 0
+
+let enabled () = !sink <> None
+
+let set_sink s =
+  (match !sink with Some old -> old.flush (); old.close () | None -> ());
+  sink := Some s;
+  stack := [];
+  seq := 0
+
+let unset_sink () =
+  (match !sink with Some s -> s.flush (); s.close () | None -> ());
+  sink := None;
+  stack := []
+
+let emit j = match !sink with Some s -> s.emit j | None -> ()
+
+let json_of_attrs attrs =
+  match attrs with [] -> Jsonx.Null | l -> Jsonx.Obj (List.rev l)
+
+let parent_field = function None -> Jsonx.Null | Some p -> Jsonx.Int p
+
+let add_attr k v =
+  match !stack with sp :: _ -> sp.attrs <- (k, v) :: sp.attrs | [] -> ()
+
+let event ?(attrs = []) name =
+  if enabled () then begin
+    incr seq;
+    let parent = match !stack with [] -> None | sp :: _ -> Some sp.id in
+    emit
+      (Jsonx.Obj
+         [
+           ("type", Jsonx.String "event");
+           ("name", Jsonx.String name);
+           ("id", Jsonx.Int !seq);
+           ("parent", parent_field parent);
+           ("t_ns", Jsonx.Int (Int64.to_int (Clock.now_ns ())));
+           ("attrs", json_of_attrs (List.rev attrs));
+         ])
+  end
+
+let with_span ?(attrs = []) name f =
+  match !sink with
+  | None -> f ()
+  | Some _ ->
+      incr seq;
+      let parent = match !stack with [] -> None | sp :: _ -> Some sp.id in
+      let sp =
+        { id = !seq; name; parent; start = Clock.now_ns (); attrs = List.rev attrs }
+      in
+      stack := sp :: !stack;
+      let finish () =
+        let stop = Clock.now_ns () in
+        (match !stack with
+        | top :: rest when top.id = sp.id -> stack := rest
+        | _ -> () (* a nested span leaked past its parent; keep going *));
+        emit
+          (Jsonx.Obj
+             [
+               ("type", Jsonx.String "span");
+               ("name", Jsonx.String sp.name);
+               ("id", Jsonx.Int sp.id);
+               ("parent", parent_field sp.parent);
+               ("start_ns", Jsonx.Int (Int64.to_int sp.start));
+               ("end_ns", Jsonx.Int (Int64.to_int stop));
+               ("dur_ns", Jsonx.Int (Int64.to_int (Int64.sub stop sp.start)));
+               ("attrs", json_of_attrs sp.attrs);
+             ])
+      in
+      (match f () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          sp.attrs <- ("error", Jsonx.String (Printexc.to_string e)) :: sp.attrs;
+          finish ();
+          raise e)
+
+let flush () = match !sink with Some s -> s.flush () | None -> ()

@@ -1,0 +1,56 @@
+(** Structured run tracing: nested, monotonic-clock-timed spans with
+    key/value attributes, plus point events, emitted as JSONL to a
+    pluggable sink.
+
+    When no sink is installed everything is a no-op, so instrumented
+    hot paths cost one branch. A span record is emitted when the span
+    closes (children therefore appear before their parents in the
+    stream); [id]s are allocated in creation order and each record
+    carries its [parent] id, which recovers nesting and ordering.
+
+    Record schema (one JSON object per line):
+    - spans: [{"type":"span","name":..,"id":..,"parent":..|null,
+      "start_ns":..,"end_ns":..,"dur_ns":..,"attrs":{..}|null}]
+    - events: [{"type":"event","name":..,"id":..,"parent":..|null,
+      "t_ns":..,"attrs":{..}|null}] *)
+
+type sink = {
+  emit : Jsonx.t -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+module Sink : sig
+  val make :
+    ?flush:(unit -> unit) -> ?close:(unit -> unit) -> (Jsonx.t -> unit) -> sink
+
+  val jsonl_file : string -> sink
+  (** One compact JSON object per line, appended to [path] (truncated
+      on open). *)
+
+  val memory : unit -> sink * (unit -> Jsonx.t list)
+  (** In-memory sink for tests; the second component returns the
+      records emitted so far, in emission order. *)
+end
+
+val set_sink : sink -> unit
+(** Install the global sink (closing any previous one) and reset span
+    ids. *)
+
+val unset_sink : unit -> unit
+(** Flush, close and remove the global sink. *)
+
+val enabled : unit -> bool
+
+val with_span : ?attrs:(string * Jsonx.t) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span. The span closes when
+    [f] returns or raises (an ["error"] attribute records the
+    exception). No-op wrapper when tracing is disabled. *)
+
+val add_attr : string -> Jsonx.t -> unit
+(** Attach an attribute to the innermost open span, if any. *)
+
+val event : ?attrs:(string * Jsonx.t) list -> string -> unit
+(** Emit a point event inside the current span. *)
+
+val flush : unit -> unit

@@ -11,7 +11,7 @@ let create ?profile ?client_config ?(network = Network.reliable) ~seed () =
   let channel_rng = Rng.split rng in
   let server = Quic_server.create ?profile server_rng in
   let client = Quic_client.create ?config:client_config client_rng in
-  let channel = Network.create ~config:network channel_rng in
+  let channel = Network.create ~config:network ~seed channel_rng in
   let reset () =
     Quic_server.reset server;
     Quic_client.reset client

@@ -1,3 +1,6 @@
+module Metrics = Prognosis_obs.Metrics
+module Trace = Prognosis_obs.Trace
+
 type config = { loss : float; duplicate : float; corrupt : float }
 
 let reliable = { loss = 0.0; duplicate = 0.0; corrupt = 0.0 }
@@ -6,12 +9,28 @@ let lossy p = { reliable with loss = p }
 type t = {
   mutable cfg : config;
   rng : Rng.t;
+  seed : int64 option;
   mutable transmitted : int;
   mutable dropped : int;
+  mutable duplicated : int;
+  mutable corrupted : int;
 }
 
-let create ?(config = reliable) rng =
-  { cfg = config; rng; transmitted = 0; dropped = 0 }
+let m_transmitted = Metrics.counter Metrics.default "net.transmitted"
+let m_dropped = Metrics.counter Metrics.default "net.dropped"
+let m_duplicated = Metrics.counter Metrics.default "net.duplicated"
+let m_corrupted = Metrics.counter Metrics.default "net.corrupted"
+
+let create ?(config = reliable) ?seed rng =
+  {
+    cfg = config;
+    rng;
+    seed;
+    transmitted = 0;
+    dropped = 0;
+    duplicated = 0;
+    corrupted = 0;
+  }
 
 let config t = t.cfg
 let set_config t cfg = t.cfg <- cfg
@@ -26,18 +45,48 @@ let corrupt_byte rng payload =
     Bytes.to_string b
   end
 
+(* Packet-level fault events: emitted only when the fault fires, so a
+   reliable channel adds nothing to the trace. *)
+let fault_event t kind payload =
+  if Trace.enabled () then
+    Trace.event
+      ~attrs:
+        (("bytes", Prognosis_obs.Jsonx.Int (String.length payload))
+        ::
+        (match t.seed with
+        | Some s -> [ ("seed", Prognosis_obs.Jsonx.Int (Int64.to_int s)) ]
+        | None -> []))
+      kind
+
 let transmit t payload =
   t.transmitted <- t.transmitted + 1;
+  Metrics.inc m_transmitted;
   if Rng.bool t.rng t.cfg.loss then begin
     t.dropped <- t.dropped + 1;
+    Metrics.inc m_dropped;
+    fault_event t "net.loss" payload;
     []
   end
   else begin
     let payload =
-      if Rng.bool t.rng t.cfg.corrupt then corrupt_byte t.rng payload else payload
+      if Rng.bool t.rng t.cfg.corrupt then begin
+        t.corrupted <- t.corrupted + 1;
+        Metrics.inc m_corrupted;
+        fault_event t "net.corrupt" payload;
+        corrupt_byte t.rng payload
+      end
+      else payload
     in
-    if Rng.bool t.rng t.cfg.duplicate then [ payload; payload ] else [ payload ]
+    if Rng.bool t.rng t.cfg.duplicate then begin
+      t.duplicated <- t.duplicated + 1;
+      Metrics.inc m_duplicated;
+      fault_event t "net.duplicate" payload;
+      [ payload; payload ]
+    end
+    else [ payload ]
   end
 
 let transmitted t = t.transmitted
 let dropped t = t.dropped
+let duplicated t = t.duplicated
+let corrupted t = t.corrupted

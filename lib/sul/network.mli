@@ -20,13 +20,21 @@ val lossy : float -> config
 
 type t
 
-val create : ?config:config -> Rng.t -> t
+val create : ?config:config -> ?seed:int64 -> Rng.t -> t
+(** [seed], when given, is attached to every emitted fault event so a
+    trace identifies the reproducing run. *)
+
 val config : t -> config
 val set_config : t -> config -> unit
 
 val transmit : t -> string -> string list
 (** Deliveries for one datagram: [] when lost, one element normally,
-    two when duplicated; payload possibly corrupted. *)
+    two when duplicated; payload possibly corrupted. Each fault
+    increments a [net.*] counter in {!Prognosis_obs.Metrics.default}
+    and, when tracing is on, emits a [net.loss] / [net.duplicate] /
+    [net.corrupt] event carrying the payload byte count and seed. *)
 
 val transmitted : t -> int
 val dropped : t -> int
+val duplicated : t -> int
+val corrupted : t -> int

@@ -1,3 +1,6 @@
+module Metrics = Prognosis_obs.Metrics
+module Trace = Prognosis_obs.Trace
+
 type config = { min_runs : int; max_runs : int; agreement : float }
 
 let default = { min_runs = 3; max_runs = 50; agreement = 0.95 }
@@ -18,10 +21,19 @@ let tally answers =
   let obs = Hashtbl.fold (fun answer count acc -> { answer; count } :: acc) tbl [] in
   List.sort (fun a b -> compare b.count a.count) obs
 
+let m_checks = Metrics.counter Metrics.default "nondet.checks"
+let m_runs = Metrics.counter Metrics.default "nondet.sul_runs"
+let m_retries = Metrics.counter Metrics.default "nondet.retries"
+let m_nondet = Metrics.counter Metrics.default "nondet.nondeterministic"
+
 let query cfg sul word =
   if cfg.min_runs < 1 then invalid_arg "Nondet.query: min_runs must be >= 1";
+  Metrics.inc m_checks;
   let answers = ref [] in
-  let run () = answers := Sul.query sul word :: !answers in
+  let run () =
+    Metrics.inc m_runs;
+    answers := Sul.query sul word :: !answers
+  in
   for _ = 1 to cfg.min_runs do
     run ()
   done;
@@ -30,6 +42,19 @@ let query cfg sul word =
   in
   if all_equal !answers then Deterministic (List.hd !answers)
   else begin
+    (* Disagreement among the first min_runs executions: retry up to
+       the run budget and take a sufficiently dominant plurality. *)
+    let retries = cfg.max_runs - List.length !answers in
+    if retries > 0 then Metrics.inc ~by:retries m_retries;
+    if Trace.enabled () then
+      Trace.event
+        ~attrs:
+          [
+            ("word_len", Prognosis_obs.Jsonx.Int (List.length word));
+            ("min_runs", Prognosis_obs.Jsonx.Int cfg.min_runs);
+            ("extra_runs", Prognosis_obs.Jsonx.Int (max retries 0));
+          ]
+        "nondet.retry";
     while List.length !answers < cfg.max_runs do
       run ()
     done;
@@ -38,7 +63,18 @@ let query cfg sul word =
     match obs with
     | best :: _ when float_of_int best.count /. float_of_int total >= cfg.agreement ->
         Deterministic best.answer
-    | _ -> Nondeterministic obs
+    | _ ->
+        Metrics.inc m_nondet;
+        if Trace.enabled () then
+          Trace.event
+            ~attrs:
+              [
+                ("word_len", Prognosis_obs.Jsonx.Int (List.length word));
+                ("variants", Prognosis_obs.Jsonx.Int (List.length obs));
+                ("runs", Prognosis_obs.Jsonx.Int total);
+              ]
+            "nondet.verdict_nondeterministic";
+        Nondeterministic obs
   end
 
 let distribution ~runs sul word =

@@ -12,7 +12,7 @@ let create ?server_config ?(network = Network.reliable) ~seed () =
   let server = Tcp_server.create ?config:server_config server_rng in
   let dst_port = (Tcp_server.config server).Tcp_server.port in
   let client = Tcp_client.create ~dst_port client_rng in
-  let channel = Network.create ~config:network channel_rng in
+  let channel = Network.create ~config:network ~seed channel_rng in
   let reset () =
     Tcp_server.reset server;
     Tcp_client.reset client

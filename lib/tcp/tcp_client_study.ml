@@ -130,7 +130,7 @@ let adapter ?(network = Network.reliable) ~seed () =
   let channel_rng = Rng.split rng in
   let client = Tcp_client_machine.create ~src_port:40000 ~dst_port:443 machine_rng in
   let peer = peer_create ~src_port:443 ~dst_port:40000 peer_rng in
-  let channel = Network.create ~config:network channel_rng in
+  let channel = Network.create ~config:network ~seed channel_rng in
   let reset () =
     Tcp_client_machine.reset client;
     peer_reset peer

@@ -1,0 +1,52 @@
+(* Validates a JSONL trace file: every line must be a JSON object
+   carrying the span/event schema ("type", "name", and the timing
+   fields for its kind). Prints a one-line summary so cram output is
+   stable, exits 1 on the first violation. *)
+
+module Jsonx = Prognosis_obs.Jsonx
+
+let fail line msg =
+  Printf.eprintf "line %d: %s\n" line msg;
+  exit 1
+
+let require_int line json name =
+  match Jsonx.member name json |> Option.map Jsonx.to_int_opt |> Option.join with
+  | Some _ -> ()
+  | None -> fail line (Printf.sprintf "missing integer field %S" name)
+
+let check_line n line =
+  match Jsonx.of_string_opt line with
+  | None -> fail n "not valid JSON"
+  | Some json -> (
+      let str name =
+        Jsonx.member name json |> Option.map Jsonx.to_string_opt |> Option.join
+      in
+      (match str "name" with
+      | Some _ -> ()
+      | None -> fail n "missing \"name\"");
+      match str "type" with
+      | Some "span" ->
+          List.iter (require_int n json) [ "id"; "start_ns"; "end_ns"; "dur_ns" ]
+      | Some "event" -> List.iter (require_int n json) [ "id"; "t_ns" ]
+      | Some t -> fail n (Printf.sprintf "unknown record type %S" t)
+      | None -> fail n "missing \"type\"")
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+        prerr_endline "usage: jsonl_check TRACE.jsonl";
+        exit 2
+  in
+  let ic = open_in path in
+  let n = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr n;
+       check_line !n line
+     done
+   with End_of_file -> close_in ic);
+  if !n = 0 then fail 0 "empty trace";
+  Printf.printf "ok: %d records\n" !n

@@ -1,0 +1,29 @@
+Learn a TCP model with tracing and metrics enabled, then validate the
+artifacts: the trace must be non-empty, well-formed JSONL in the span
+schema, and the metrics file must carry the report schema with the
+query-latency histogram and cache counters.
+
+  $ ../bin/prognosis_cli.exe learn --protocol tcp --trace t.jsonl --metrics-out m.json > /dev/null
+
+  $ ./jsonl_check.exe t.jsonl | sed 's/[0-9][0-9]*/N/'
+  ok: N records
+
+The root learning span and the hot-path spans are present:
+
+  $ grep -c '"name":"learn"' t.jsonl
+  1
+  $ grep -l '"name":"oracle.mq"' t.jsonl
+  t.jsonl
+  $ grep -l '"name":"learner.round"' t.jsonl
+  t.jsonl
+
+The metrics file is a single machine-readable report:
+
+  $ grep -c '"schema":"prognosis.report/1"' m.json
+  1
+  $ grep -l '"oracle.mq_latency_ns"' m.json
+  m.json
+  $ grep -l '"p99"' m.json
+  m.json
+  $ grep -l '"cache.hits"' m.json
+  m.json

@@ -1,0 +1,377 @@
+(* Tests for the telemetry layer: histogram buckets and quantiles,
+   span nesting/ordering, JSONL sink round-trips, and the
+   instrumentation contracts the learner relies on (membership-query
+   counts = cache misses, TCP learn runs emit the expected spans). *)
+
+module Jsonx = Prognosis_obs.Jsonx
+module Metrics = Prognosis_obs.Metrics
+module Trace = Prognosis_obs.Trace
+module Clock = Prognosis_obs.Clock
+module Mealy = Prognosis_automata.Mealy
+module Sul = Prognosis_sul.Sul
+module Nondet = Prognosis_sul.Nondet
+module Oracle = Prognosis_learner.Oracle
+module Cache = Prognosis_learner.Cache
+module Learn = Prognosis_learner.Learn
+open Prognosis
+
+(* A deterministic clock: each call advances 1000 ns. *)
+let install_tick_clock () =
+  let t = ref 0L in
+  Clock.set_source (fun () ->
+      t := Int64.add !t 1000L;
+      !t)
+
+let with_memory_trace f =
+  let sink, records = Trace.Sink.memory () in
+  Trace.set_sink sink;
+  Fun.protect ~finally:Trace.unset_sink (fun () ->
+      let v = f () in
+      (v, records ()))
+
+(* --- jsonx --- *)
+
+let jsonx_roundtrip () =
+  let v =
+    Jsonx.Obj
+      [
+        ("s", Jsonx.String "a\"b\\c\nd\ttab\x01e");
+        ("i", Jsonx.Int (-42));
+        ("f", Jsonx.Float 1.5);
+        ("whole", Jsonx.Float 3.0);
+        ("b", Jsonx.Bool true);
+        ("n", Jsonx.Null);
+        ("l", Jsonx.List [ Jsonx.Int 1; Jsonx.Obj []; Jsonx.List [] ]);
+      ]
+  in
+  Alcotest.(check bool) "roundtrip" true (Jsonx.of_string (Jsonx.to_string v) = v);
+  Alcotest.(check bool) "ws tolerated" true
+    (Jsonx.of_string " { \"a\" : [ 1 , 2 ] } "
+    = Jsonx.Obj [ ("a", Jsonx.List [ Jsonx.Int 1; Jsonx.Int 2 ]) ]);
+  Alcotest.(check bool) "garbage rejected" true
+    (Jsonx.of_string_opt "{\"a\":}" = None);
+  Alcotest.(check bool) "trailing rejected" true (Jsonx.of_string_opt "1 2" = None)
+
+(* --- metrics --- *)
+
+let histogram_buckets () =
+  (* bucket 0 is (0,1]; bucket i is (10^((i-1)/5), 10^(i/5)] *)
+  Alcotest.(check int) "0.5 -> 0" 0 (Metrics.bucket_index 0.5);
+  Alcotest.(check int) "1.0 -> 0" 0 (Metrics.bucket_index 1.0);
+  Alcotest.(check int) "1.1 -> 1" 1 (Metrics.bucket_index 1.1);
+  Alcotest.(check int) "10 -> 5" 5 (Metrics.bucket_index 10.0);
+  Alcotest.(check int) "11 -> 6" 6 (Metrics.bucket_index 11.0);
+  Alcotest.(check int) "1e6 -> 30" 30 (Metrics.bucket_index 1e6);
+  Alcotest.(check int) "huge clamps" (Metrics.bucket_index 1e300)
+    (Metrics.bucket_index 1e200);
+  Alcotest.(check (float 1e-9) "upper of 5 is 10" 10.0 (Metrics.bucket_upper 5))
+
+let histogram_quantiles () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram r "q" in
+  (* 100 observations: 1..100 *)
+  for v = 1 to 100 do
+    Metrics.observe h (float_of_int v)
+  done;
+  (* p50: rank 50; buckets up to 10^(i/5); the bucket holding the 50th
+     smallest value (50) has upper bound 10^(9/5) ~ 63.1 *)
+  let p50 = Metrics.quantile h 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 %.1f in [50, 63.2]" p50)
+    true
+    (p50 >= 50.0 && p50 <= 63.2);
+  let p99 = Metrics.quantile h 0.99 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p99 %.1f in [99, 100]" p99)
+    true
+    (p99 >= 99.0 && p99 <= 100.0);
+  Alcotest.(check (float 1e-9) "p0 is min" 1.0 (Metrics.quantile h 0.0));
+  Alcotest.(check (float 1e-9) "mean" 50.5 (Metrics.mean h));
+  (* quantiles never exceed the observed max *)
+  Alcotest.(check bool) "p100 <= max" true (Metrics.quantile h 1.0 <= 100.0);
+  let empty = Metrics.histogram r "empty" in
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (Metrics.quantile empty 0.5))
+
+let metrics_registry () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "c" in
+  let g = Metrics.gauge r "g" in
+  Metrics.inc c;
+  Metrics.inc ~by:4 c;
+  Metrics.set g 2.5;
+  Alcotest.(check int) "counter" 5 !c;
+  (* get-or-create returns the same ref *)
+  Metrics.inc (Metrics.counter r "c");
+  Alcotest.(check int) "shared ref" 6 !c;
+  (match Metrics.counter r "g" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind clash must be refused");
+  let json = Metrics.to_json r in
+  Alcotest.(check bool) "counter in json" true
+    (Jsonx.member "counters" json
+    |> Option.map (Jsonx.member "c")
+    |> Option.join = Some (Jsonx.Int 6));
+  (* reset zeroes in place: old refs stay valid *)
+  Metrics.reset r;
+  Alcotest.(check int) "reset" 0 !c;
+  Metrics.inc c;
+  Alcotest.(check int) "ref alive after reset" 1 !c
+
+(* --- trace --- *)
+
+let field name j =
+  match Jsonx.member name j with
+  | Some v -> v
+  | None -> Alcotest.fail ("missing field " ^ name)
+
+let str name j =
+  match Jsonx.to_string_opt (field name j) with
+  | Some s -> s
+  | None -> Alcotest.fail (name ^ " not a string")
+
+let num name j =
+  match Jsonx.to_int_opt (field name j) with
+  | Some n -> n
+  | None -> Alcotest.fail (name ^ " not an int")
+
+let span_nesting_and_ordering () =
+  install_tick_clock ();
+  let (), records =
+    with_memory_trace (fun () ->
+        Trace.with_span "outer" (fun () ->
+            Trace.with_span "first" (fun () -> Trace.event "ping");
+            Trace.with_span ~attrs:[ ("k", Jsonx.Int 7) ] "second" ignore))
+  in
+  Clock.use_wall_clock ();
+  (* close order: first's ping is an event (emitted immediately), then
+     first closes, then second, then outer *)
+  let names = List.map (str "name") records in
+  Alcotest.(check (list string)) "emission order"
+    [ "ping"; "first"; "second"; "outer" ] names;
+  let by_name n = List.find (fun r -> str "name" r = n) records in
+  let outer = by_name "outer" in
+  let first = by_name "first" in
+  let second = by_name "second" in
+  let ping = by_name "ping" in
+  Alcotest.(check bool) "outer is root" true (field "parent" outer = Jsonx.Null);
+  Alcotest.(check int) "first nested in outer" (num "id" outer) (num "parent" first);
+  Alcotest.(check int) "second nested in outer" (num "id" outer) (num "parent" second);
+  Alcotest.(check int) "ping nested in first" (num "id" first) (num "parent" ping);
+  (* ids are allocated in creation order *)
+  Alcotest.(check bool) "creation order" true
+    (num "id" outer < num "id" first
+    && num "id" first < num "id" ping
+    && num "id" ping < num "id" second);
+  (* timing: monotonic tick clock => strictly positive, nested durations *)
+  Alcotest.(check bool) "outer spans children" true
+    (num "start_ns" outer < num "start_ns" first
+    && num "end_ns" first <= num "end_ns" outer);
+  Alcotest.(check bool) "durations positive" true
+    (num "dur_ns" outer > 0 && num "dur_ns" first > 0);
+  Alcotest.(check bool) "attr kept" true
+    (Jsonx.member "attrs" second
+    |> Option.map (Jsonx.member "k")
+    |> Option.join = Some (Jsonx.Int 7))
+
+let span_error_attr () =
+  let (), records =
+    with_memory_trace (fun () ->
+        try Trace.with_span "boom" (fun () -> failwith "kaput")
+        with Failure _ -> ())
+  in
+  match records with
+  | [ r ] ->
+      Alcotest.(check string) "span name" "boom" (str "name" r);
+      let err =
+        Jsonx.member "attrs" r |> Option.map (Jsonx.member "error") |> Option.join
+      in
+      Alcotest.(check bool) "error recorded" true
+        (match err with Some (Jsonx.String s) -> s <> "" | _ -> false)
+  | _ -> Alcotest.fail "expected exactly one record"
+
+let jsonl_sink_roundtrip () =
+  let path = Filename.temp_file "prognosis_trace" ".jsonl" in
+  Trace.set_sink (Trace.Sink.jsonl_file path);
+  Trace.with_span ~attrs:[ ("proto", Jsonx.String "tcp") ] "a" (fun () ->
+      Trace.event ~attrs:[ ("bytes", Jsonx.Int 40) ] "net.loss");
+  Trace.unset_sink ();
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let lines = List.rev !lines in
+  Alcotest.(check int) "two records" 2 (List.length lines);
+  let parsed = List.map Jsonx.of_string lines in
+  Alcotest.(check (list string)) "names" [ "net.loss"; "a" ]
+    (List.map (str "name") parsed);
+  Alcotest.(check (list string)) "types" [ "event"; "span" ]
+    (List.map (str "type") parsed);
+  Alcotest.(check bool) "attr roundtrip" true
+    (Jsonx.member "attrs" (List.nth parsed 0)
+    |> Option.map (Jsonx.member "bytes")
+    |> Option.join = Some (Jsonx.Int 40))
+
+(* --- instrumentation contracts --- *)
+
+let tcp_learn_emits_expected_spans () =
+  let (), records =
+    with_memory_trace (fun () -> ignore (Tcp_study.learn ~seed:5L ()))
+  in
+  let names = List.sort_uniq compare (List.map (str "name") records) in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) ("span " ^ expected) true (List.mem expected names))
+    [ "learn"; "learner.round"; "learner.hypothesis"; "learner.eq_query";
+      "learner.refine"; "oracle.mq" ];
+  (* the learn span is the root and closes last *)
+  let last = List.nth records (List.length records - 1) in
+  Alcotest.(check string) "root closes last" "learn" (str "name" last);
+  Alcotest.(check bool) "root has no parent" true (field "parent" last = Jsonx.Null);
+  (* every oracle.mq span has a positive length attribute *)
+  List.iter
+    (fun r ->
+      if str "name" r = "oracle.mq" then
+        match
+          Jsonx.member "attrs" r |> Option.map (Jsonx.member "len") |> Option.join
+        with
+        | Some (Jsonx.Int n) -> Alcotest.(check bool) "len > 0" true (n > 0)
+        | _ -> Alcotest.fail "oracle.mq without len attr")
+    records
+
+let lossy_learning_emits_fault_events () =
+  let (), records =
+    with_memory_trace (fun () ->
+        let sul =
+          Prognosis_tcp.Tcp_adapter.sul
+            ~network:(Prognosis_sul.Network.lossy 0.3) ~seed:7L ()
+        in
+        (* raw queries suffice; learning to completion is not the point *)
+        for _ = 1 to 50 do
+          ignore (Sul.query sul Prognosis_tcp.Tcp_alphabet.[ Syn; Ack; Fin_ack ])
+        done)
+  in
+  let losses = List.filter (fun r -> str "name" r = "net.loss") records in
+  Alcotest.(check bool) "some loss events" true (List.length losses > 0);
+  List.iter
+    (fun r ->
+      Alcotest.(check string) "loss is an event" "event" (str "type" r);
+      let attr k =
+        Jsonx.member "attrs" r |> Option.map (Jsonx.member k) |> Option.join
+      in
+      (match attr "bytes" with
+      | Some (Jsonx.Int n) -> Alcotest.(check bool) "bytes > 0" true (n > 0)
+      | _ -> Alcotest.fail "loss without byte count");
+      Alcotest.(check bool) "seed recorded" true
+        (attr "seed" = Some (Jsonx.Int 7)))
+    losses
+
+(* Satellite: membership_queries must count only queries that reached
+   the SUL, also when the oracle is wrapped by both the nondeterminism
+   check and the cache. *)
+let no_double_count_with_cache_and_nondet () =
+  let machine =
+    (* a 2-state toggle machine as deterministic SUL *)
+    Mealy.make ~size:2 ~initial:0 ~inputs:[| 'a'; 'b' |]
+      ~delta:[| [| 1; 0 |]; [| 0; 1 |] |]
+      ~lambda:[| [| 'x'; 'y' |]; [| 'z'; 'y' |] |]
+  in
+  let sul, counts = Sul.counting (Sul.of_mealy machine) in
+  let min_runs = 3 in
+  let checked =
+    Oracle.of_sul_checked
+      ~config:{ Nondet.default with Nondet.min_runs }
+      ~pp:(fun w -> String.init (List.length w) (List.nth w))
+      sul
+  in
+  let cache = Cache.create () in
+  let mq = Cache.wrap cache checked in
+  let result =
+    Learn.run_mq ~inputs:[| 'a'; 'b' |] ~mq
+      ~eq:(Prognosis_learner.Eq_oracle.w_method ~extra_states:1 ())
+      ()
+  in
+  Alcotest.(check int) "learned the toggle" 2 (Mealy.size result.Learn.model);
+  let stats = result.Learn.stats in
+  Alcotest.(check bool) "some queries" true (stats.Oracle.membership_queries > 0);
+  Alcotest.(check int) "only SUL-reaching queries counted"
+    (Cache.misses cache) stats.Oracle.membership_queries;
+  (* the nondeterminism check ran each SUL-reaching query exactly
+     min_runs times (deterministic SUL => no retries) *)
+  let resets, _steps = counts () in
+  Alcotest.(check int) "SUL executions = min_runs * misses"
+    (min_runs * Cache.misses cache)
+    resets
+
+let learn_run_asserts_cache_consistency () =
+  (* Learn.run's assert must hold on a full study pipeline. *)
+  let r = Tcp_study.learn ~seed:11L () in
+  Alcotest.(check int) "report: queries = misses"
+    r.Tcp_study.report.Report.cache_misses
+    r.Tcp_study.report.Report.membership_queries;
+  Alcotest.(check bool) "hit rate in (0,1)" true
+    (let rate = Report.cache_hit_rate r.Tcp_study.report in
+     rate > 0.0 && rate < 1.0)
+
+let report_json_folds_metrics () =
+  Metrics.reset Metrics.default;
+  let r = Tcp_study.learn ~seed:5L () in
+  let json = Report.to_json ~metrics:Metrics.default r.Tcp_study.report in
+  let reparsed = Jsonx.of_string (Jsonx.to_string json) in
+  Alcotest.(check string) "schema" "prognosis.report/1" (str "schema" reparsed);
+  Alcotest.(check int) "states" r.Tcp_study.report.Report.states
+    (num "states" reparsed);
+  let metrics = field "metrics" reparsed in
+  let latency =
+    Jsonx.member "histograms" metrics
+    |> Option.map (Jsonx.member "oracle.mq_latency_ns")
+    |> Option.join
+  in
+  (match latency with
+  | Some h ->
+      (match Jsonx.member "p99" h with
+      | Some (Jsonx.Float p99) ->
+          Alcotest.(check bool) "p99 > 0" true (p99 > 0.0)
+      | _ -> Alcotest.fail "no p99 quantile")
+  | None -> Alcotest.fail "no mq latency histogram");
+  match
+    Jsonx.member "counters" metrics
+    |> Option.map (Jsonx.member "cache.hits")
+    |> Option.join
+  with
+  | Some (Jsonx.Int hits) ->
+      Alcotest.(check int) "cache.hits counter matches report"
+        r.Tcp_study.report.Report.cache_hits hits
+  | _ -> Alcotest.fail "no cache.hits counter"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("jsonx", [ Alcotest.test_case "roundtrip" `Quick jsonx_roundtrip ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "buckets" `Quick histogram_buckets;
+          Alcotest.test_case "quantiles" `Quick histogram_quantiles;
+          Alcotest.test_case "registry" `Quick metrics_registry;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "nesting and ordering" `Quick span_nesting_and_ordering;
+          Alcotest.test_case "error attr" `Quick span_error_attr;
+          Alcotest.test_case "jsonl roundtrip" `Quick jsonl_sink_roundtrip;
+        ] );
+      ( "instrumentation",
+        [
+          Alcotest.test_case "tcp learn spans" `Slow tcp_learn_emits_expected_spans;
+          Alcotest.test_case "fault events" `Quick lossy_learning_emits_fault_events;
+          Alcotest.test_case "no double count" `Quick
+            no_double_count_with_cache_and_nondet;
+          Alcotest.test_case "cache consistency" `Slow
+            learn_run_asserts_cache_consistency;
+          Alcotest.test_case "report json" `Slow report_json_folds_metrics;
+        ] );
+    ]
