@@ -543,8 +543,90 @@ let a5_nondet_sensitivity () =
      near-certain — why the paper's check runs every query a minimum number\n\
      of times."
 
-let a7_loss_robustness () =
-  section "A7" "Ablation: learning through a lossy channel (environmental nondeterminism, §5)";
+(* --- A7: the query-execution engine vs the sequential oracle --- *)
+
+let exec_config =
+  {
+    Prognosis_exec.Engine.default with
+    Prognosis_exec.Engine.workers = 4;
+    batch = true;
+  }
+
+let tcp_pooled = lazy (Tcp_study.learn ~seed:1L ~exec:exec_config ())
+
+let quic_pooled =
+  lazy (Quic_study.learn ~seed:3L ~exec:exec_config ~profile:Profile.quiche_like ())
+
+let exec_field e k =
+  let module Jsonx = Prognosis_obs.Jsonx in
+  match Jsonx.member k e with
+  | Some v -> Option.value ~default:0 (Jsonx.to_int_opt v)
+  | None -> 0
+
+let a7_exec () =
+  section "A7"
+    "Ablation: query-execution engine (4 workers, batched) vs sequential oracle";
+  let rows = ref [] and checks = ref [] in
+  let substrate name (direct : Report.t) direct_model (pooled : Report.t)
+      pooled_model =
+    let e = Option.get pooled.Report.exec in
+    let base_r = exec_field e "baseline_resets"
+    and base_s = exec_field e "baseline_steps" in
+    let eng_r = exec_field e "resets" and eng_s = exec_field e "steps" in
+    let seq_r = direct.Report.membership_queries
+    and seq_s = direct.Report.membership_symbols in
+    let pct a b = 100. *. (1. -. (float_of_int a /. float_of_int b)) in
+    let row oracle r s =
+      [
+        name;
+        oracle;
+        string_of_int r;
+        string_of_int s;
+        string_of_int (r + s);
+        Printf.sprintf "%.1f%%" (pct (r + s) (base_r + base_s));
+      ]
+    in
+    rows :=
+      !rows
+      @ [
+          row "sequential, no reuse (baseline)" base_r base_s;
+          row "sequential + cache (seed path)" seq_r seq_s;
+          row "engine: 4 workers, batched" eng_r eng_s;
+        ];
+    let identical = Mealy.equivalent direct_model pooled_model = None in
+    let saved = 4 * (eng_r + eng_s) <= 3 * (base_r + base_s) in
+    checks := (name, identical, saved) :: !checks;
+    (* The subsystem's acceptance bar: identical models, >= 25% fewer
+       resets+steps than the no-reuse sequential oracle. *)
+    assert identical;
+    assert saved
+  in
+  substrate "tcp" (Lazy.force tcp_ttt).Tcp_study.report
+    (Lazy.force tcp_ttt).Tcp_study.model
+    (Lazy.force tcp_pooled).Tcp_study.report
+    (Lazy.force tcp_pooled).Tcp_study.model;
+  substrate "quic" (Lazy.force quic_quiche).Quic_study.report
+    (Lazy.force quic_quiche).Quic_study.model
+    (Lazy.force quic_pooled).Quic_study.report
+    (Lazy.force quic_pooled).Quic_study.model;
+  print_table
+    [ "substrate"; "oracle"; "resets"; "steps"; "resets+steps"; "saved vs no-reuse" ]
+    !rows;
+  print_newline ();
+  List.iter
+    (fun (name, identical, saved) ->
+      Printf.printf "check (%s): identical models: %b; >=25%% saved: %b\n" name
+        identical saved)
+    (List.rev !checks);
+  print_endline
+    "takeaway: the engine's cache/dedup/prefix planning absorbs the redundant\n\
+     share of the query stream (>=25% of resets+steps against a no-reuse\n\
+     sequential oracle, asserted above) while the learned models stay\n\
+     identical; most of the residual cost is the conformance suite, whose\n\
+     maximal words every closed-box oracle must execute in full."
+
+let a8_loss_robustness () =
+  section "A8" "Ablation: learning through a lossy channel (environmental nondeterminism, §5)";
   let reference = (Lazy.force tcp_ttt).Tcp_study.model in
   let attempt ~loss ~runs =
     let sul =
@@ -937,7 +1019,39 @@ let write_snapshot bench_rows =
       report (Lazy.force quic_tolerant).Quic_study.report;
       report (Lazy.force quic_strict).Quic_study.report;
       report (Lazy.force quic_quiche).Quic_study.report;
+      report (Lazy.force tcp_pooled).Tcp_study.report;
+      report (Lazy.force quic_pooled).Quic_study.report;
     ]
+  in
+  (* The A7 numbers as a dedicated block: per-substrate engine stats
+     (each a schema-versioned prognosis.exec/1 object) plus the derived
+     savings percentage against the no-reuse sequential baseline. *)
+  let exec_block =
+    let entry (e : Jsonx.t) =
+      let actual = exec_field e "resets" + exec_field e "steps" in
+      let baseline =
+        exec_field e "baseline_resets" + exec_field e "baseline_steps"
+      in
+      let pct =
+        if baseline = 0 then 0.
+        else 100. *. (1. -. (float_of_int actual /. float_of_int baseline))
+      in
+      (e, pct)
+    in
+    let tcp, tcp_pct =
+      entry (Option.get (Lazy.force tcp_pooled).Tcp_study.report.Report.exec)
+    in
+    let quic, quic_pct =
+      entry (Option.get (Lazy.force quic_pooled).Quic_study.report.Report.exec)
+    in
+    Jsonx.Obj
+      [
+        ("schema", Jsonx.String "prognosis.exec-ablation/1");
+        ("tcp", tcp);
+        ("tcp_saved_pct", Jsonx.Float tcp_pct);
+        ("quic", quic);
+        ("quic_saved_pct", Jsonx.Float quic_pct);
+      ]
   in
   let benchmarks =
     List.map
@@ -947,8 +1061,9 @@ let write_snapshot bench_rows =
   let json =
     Jsonx.Obj
       [
-        ("schema", Jsonx.String "prognosis.bench/1");
+        ("schema", Jsonx.String "prognosis.bench/2");
         ("reports", Jsonx.List reports);
+        ("exec", exec_block);
         ("benchmarks_ns_per_run", Jsonx.Obj benchmarks);
         ("metrics", Metrics.to_json Metrics.default);
       ]
@@ -978,7 +1093,8 @@ let () =
   a4_passive_hybrid ();
   a5_nondet_sensitivity ();
   a6_alphabet_size ();
-  a7_loss_robustness ();
+  a7_exec ();
+  a8_loss_robustness ();
   x1_third_protocol ();
   x2_quantitative_models ();
   x3_client_role ();

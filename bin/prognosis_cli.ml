@@ -60,8 +60,23 @@ let or_die = function
 
 (* --- learn --- *)
 
-let do_learn () protocol profile_name seed algorithm dot_out save_out trace_out
-    metrics_out =
+let do_learn () protocol profile_name seed algorithm workers batch parallel
+    replicas dot_out save_out trace_out metrics_out =
+  (* Any exec-related flag routes membership queries through the
+     query-execution engine; plain invocations keep the historical
+     sequential path. *)
+  let exec =
+    if workers > 1 || batch || parallel || replicas > 1 then
+      Some
+        {
+          Prognosis_exec.Engine.default with
+          Prognosis_exec.Engine.workers;
+          batch;
+          parallel;
+          replicas;
+        }
+    else None
+  in
   (* Telemetry: zero the process-wide registry so the metrics snapshot
      describes exactly this run, and tee spans into a JSONL file when
      asked (docs/OBSERVABILITY.md documents both formats). *)
@@ -78,18 +93,18 @@ let do_learn () protocol profile_name seed algorithm dot_out save_out trace_out
     try
       match protocol with
     | `Tcp ->
-        let r = Tcp_study.learn ~seed ~algorithm () in
+        let r = Tcp_study.learn ~seed ~algorithm ?exec () in
         ( r.Tcp_study.report,
           Tcp_study.model_dot r.Tcp_study.model,
           fun path -> Persist.save ~path Persist.Tcp_model r.Tcp_study.model )
     | `Quic ->
         let profile = or_die (profile_of_name profile_name) in
-        let r = Quic_study.learn ~seed ~algorithm ~profile () in
+        let r = Quic_study.learn ~seed ~algorithm ?exec ~profile () in
         ( r.Quic_study.report,
           Quic_study.model_dot r.Quic_study.model,
           fun path -> Persist.save ~path Persist.Quic_model r.Quic_study.model )
     | `Dtls ->
-        let r = Dtls_study.learn ~seed ~algorithm () in
+        let r = Dtls_study.learn ~seed ~algorithm ?exec () in
         ( r.Dtls_study.report,
           Dtls_study.model_dot r.Dtls_study.model,
           fun path -> Persist.save ~path Persist.Dtls_model r.Dtls_study.model )
@@ -111,6 +126,22 @@ let do_learn () protocol profile_name seed algorithm dot_out save_out trace_out
   Format.printf "%a@." Report.pp report;
   Format.printf "traces of length <= 10 over this alphabet: %d@."
     (Report.trace_count report ~max_len:10);
+  (match report.Report.exec with
+  | None -> ()
+  | Some e ->
+      let n k =
+        match Prognosis_obs.Jsonx.member k e with
+        | Some v -> Option.value ~default:0 (Prognosis_obs.Jsonx.to_int_opt v)
+        | None -> 0
+      in
+      Format.printf
+        "exec: %d workers, %d runs (%d resumed), %d resets / %d steps (saved \
+         %d resets / %d steps vs no-reuse sequential)@."
+        (n "workers") (n "runs") (n "resumed_runs") (n "resets") (n "steps")
+        (n "saved_resets") (n "saved_steps");
+      if n "quarantines" > 0 then
+        Format.printf "exec: %d worker quarantine(s), %d disagreement(s)@."
+          (n "quarantines") (n "disagreements"));
   (match trace_out with
   | None -> ()
   | Some path -> Format.printf "trace written to %s@." path);
@@ -155,13 +186,45 @@ let metrics_out =
   in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+let workers_arg =
+  let doc =
+    "Size of the query-execution worker pool: $(docv) independent SUL \
+     instances answer membership queries (with per-worker resume across \
+     shared prefixes). 1 keeps the sequential oracle unless another exec \
+     flag is given."
+  in
+  Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N" ~doc)
+
+let batch_arg =
+  let doc =
+    "Let equivalence oracles submit whole query batches to the engine, \
+     which dedups them and answers prefix-subsumed words from a single \
+     longer run."
+  in
+  Arg.(value & flag & info [ "batch" ] ~doc)
+
+let parallel_arg =
+  let doc =
+    "Execute batched runs in parallel, one domain per worker (in-process \
+     substrates only; ignored while --trace is active)."
+  in
+  Arg.(value & flag & info [ "parallel" ] ~doc)
+
+let replicas_arg =
+  let doc =
+    "Cross-validate every SUL run on $(docv) distinct workers, majority \
+     vote on disagreement, quarantining workers that keep losing votes."
+  in
+  Arg.(value & opt int 1 & info [ "replicas" ] ~docv:"R" ~doc)
+
 let learn_cmd =
   let doc = "Learn a Mealy-machine model of a protocol implementation." in
   Cmd.v
     (Cmd.info "learn" ~doc)
     Term.(
       const do_learn $ verbose $ protocol $ profile_arg $ seed $ algorithm
-      $ dot_out $ save_out $ trace_out $ metrics_out)
+      $ workers_arg $ batch_arg $ parallel_arg $ replicas_arg $ dot_out
+      $ save_out $ trace_out $ metrics_out)
 
 (* --- compare --- *)
 

@@ -39,9 +39,8 @@ let scenarios =
       [ Client_hello; Client_key_exchange; Change_cipher_spec; Finished; App_data ];
     ]
 
-let learn ?(seed = 1L) ?(algorithm = Learn.Ttt_tree) ?server_config () =
+let learn ?(seed = 1L) ?(algorithm = Learn.Ttt_tree) ?server_config ?exec () =
   let adapter, client = Prognosis_dtls.Dtls_adapter.create ?server_config ~seed () in
-  let sul = Adapter.to_sul adapter in
   let rng = Rng.create (Int64.add seed 7L) in
   let eq =
     Eq_oracle.combine
@@ -51,12 +50,35 @@ let learn ?(seed = 1L) ?(algorithm = Learn.Ttt_tree) ?server_config () =
         Eq_oracle.random_words ~rng ~max_tests:400 ~min_len:1 ~max_len:10;
       ]
   in
-  let result = Learn.run ~algorithm ~inputs:Alphabet.all ~sul ~eq () in
+  let result, exec_json =
+    match exec with
+    | None ->
+        let sul = Adapter.to_sul adapter in
+        (Learn.run ~algorithm ~inputs:Alphabet.all ~sul ~eq (), None)
+    | Some config ->
+        let module Engine = Prognosis_exec.Engine in
+        let master = Rng.create seed in
+        let wseeds =
+          Array.map Rng.next64 (Rng.split_n master config.Engine.workers)
+        in
+        let factory i =
+          Prognosis_dtls.Dtls_adapter.sul ?server_config ~seed:wseeds.(i) ()
+        in
+        let engine = Engine.create ~config ~factory () in
+        let r =
+          Learn.run_mq ~algorithm
+            ~cache_stats:(fun () -> Engine.cache_stats engine)
+            ~inputs:Alphabet.all
+            ~mq:(Engine.membership engine)
+            ~eq ()
+        in
+        (r, Some (Engine.stats_json engine))
+  in
   {
     model = result.Learn.model;
     report =
       Report.of_learn_result ~subject:"dtls" ~algorithm:(algorithm_name algorithm)
-        result;
+        ?exec:exec_json result;
     adapter;
     client;
   }

@@ -24,7 +24,10 @@ val learn :
   ?seed:int64 ->
   ?algorithm:Prognosis_learner.Learn.algorithm ->
   ?server_config:Prognosis_dtls.Dtls_server.config ->
+  ?exec:Prognosis_exec.Engine.config ->
   unit ->
   result
+(** With [?exec], membership queries run through the query-execution
+    engine pool and the report carries an [exec] stats section. *)
 
 val model_dot : model -> string

@@ -27,9 +27,8 @@ type result = {
 let algorithm_name = function Learn.L_star -> "L*" | Learn.Ttt_tree -> "TTT"
 
 let learn ?(seed = 1L) ?(algorithm = Learn.Ttt_tree) ?(alphabet = Alphabet.all)
-    ?client_config ~profile () =
+    ?client_config ?exec ~profile () =
   let adapter, client = Quic_adapter.create ~profile ?client_config ~seed () in
-  let sul = Adapter.to_sul adapter in
   let rng = Rng.create (Int64.add seed 7L) in
   let eq =
     Eq_oracle.combine
@@ -38,13 +37,36 @@ let learn ?(seed = 1L) ?(algorithm = Learn.Ttt_tree) ?(alphabet = Alphabet.all)
         Eq_oracle.random_words ~rng ~max_tests:400 ~min_len:1 ~max_len:10;
       ]
   in
-  let result = Learn.run ~algorithm ~inputs:alphabet ~sul ~eq () in
+  let result, exec_json =
+    match exec with
+    | None ->
+        let sul = Adapter.to_sul adapter in
+        (Learn.run ~algorithm ~inputs:alphabet ~sul ~eq (), None)
+    | Some config ->
+        let module Engine = Prognosis_exec.Engine in
+        let master = Rng.create seed in
+        let wseeds =
+          Array.map Rng.next64 (Rng.split_n master config.Engine.workers)
+        in
+        let factory i =
+          Quic_adapter.sul ~profile ?client_config ~seed:wseeds.(i) ()
+        in
+        let engine = Engine.create ~config ~factory () in
+        let r =
+          Learn.run_mq ~algorithm
+            ~cache_stats:(fun () -> Engine.cache_stats engine)
+            ~inputs:alphabet
+            ~mq:(Engine.membership engine)
+            ~eq ()
+        in
+        (r, Some (Engine.stats_json engine))
+  in
   {
     model = result.Learn.model;
     report =
       Report.of_learn_result
         ~subject:("quic:" ^ profile.Profile.name)
-        ~algorithm:(algorithm_name algorithm) result;
+        ~algorithm:(algorithm_name algorithm) ?exec:exec_json result;
     adapter;
     client;
   }

@@ -24,12 +24,15 @@ val learn :
   ?algorithm:Prognosis_learner.Learn.algorithm ->
   ?alphabet:Alphabet.symbol array ->
   ?client_config:Prognosis_quic.Quic_client.config ->
+  ?exec:Prognosis_exec.Engine.config ->
   profile:Profile.t ->
   unit ->
   result
 (** [alphabet] defaults to the paper's seven symbols
     ({!Alphabet.all}); pass {!Alphabet.extended} for the nine-symbol
-    variant used by the alphabet-size ablation. *)
+    variant used by the alphabet-size ablation. With [?exec],
+    membership queries run through the query-execution engine pool
+    and the report carries an [exec] stats section. *)
 
 val compare_profiles :
   ?seed:int64 ->

@@ -16,9 +16,10 @@ type t = {
   equivalence_rounds : int;
   test_words : int;
   alphabet : int;
+  exec : Jsonx.t option;
 }
 
-let of_learn_result ~subject ~algorithm (r : ('i, 'o) Learn.result) =
+let of_learn_result ~subject ~algorithm ?exec (r : ('i, 'o) Learn.result) =
   {
     subject;
     algorithm;
@@ -34,6 +35,7 @@ let of_learn_result ~subject ~algorithm (r : ('i, 'o) Learn.result) =
     equivalence_rounds = r.Learn.rounds;
     test_words = r.Learn.stats.Oracle.test_words;
     alphabet = Mealy.alphabet_size r.Learn.model;
+    exec;
   }
 
 let cache_hit_rate t =
@@ -95,6 +97,11 @@ let to_json ?metrics t =
       ("equivalence_rounds", Jsonx.Int t.equivalence_rounds);
       ("test_words", Jsonx.Int t.test_words);
     ]
+  in
+  let fields =
+    match t.exec with
+    | None -> fields
+    | Some e -> fields @ [ ("exec", e) ]
   in
   let fields =
     match metrics with

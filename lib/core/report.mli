@@ -17,11 +17,15 @@ type t = {
   equivalence_rounds : int;
   test_words : int;  (** words spent by equivalence testing *)
   alphabet : int;
+  exec : Prognosis_obs.Jsonx.t option;
+      (** query-execution engine stats ([prognosis.exec/1]) when
+          learning ran through {!Prognosis_exec.Engine} *)
 }
 
 val of_learn_result :
   subject:string ->
   algorithm:string ->
+  ?exec:Prognosis_obs.Jsonx.t ->
   ('i, 'o) Prognosis_learner.Learn.result ->
   t
 
@@ -42,6 +46,8 @@ val to_json : ?metrics:Prognosis_obs.Metrics.t -> t -> Prognosis_obs.Jsonx.t
 (** Machine-readable report ([schema] field ["prognosis.report/1"]).
     With [?metrics], folds a snapshot of the given registry into a
     ["metrics"] field — the same shape the CLI's [--metrics-out] and
-    the bench harness's [BENCH_run.json] use. *)
+    the bench harness's [BENCH_run.json] use. A report produced by an
+    engine-backed run additionally carries an ["exec"] object (schema
+    ["prognosis.exec/1"]). *)
 
 val to_json_string : ?metrics:Prognosis_obs.Metrics.t -> t -> string

@@ -20,23 +20,48 @@ type result = {
 
 let algorithm_name = function Learn.L_star -> "L*" | Learn.Ttt_tree -> "TTT"
 
-let learn ?(seed = 1L) ?(algorithm = Learn.Ttt_tree) ?server_config () =
-  let adapter = Tcp_adapter.create ?server_config ~seed () in
-  let sul = Adapter.to_sul adapter in
+let eq_oracle ~seed =
   let rng = Rng.create (Int64.add seed 7L) in
-  let eq =
-    Eq_oracle.combine
-      [
-        Eq_oracle.w_method ~extra_states:1 ();
-        Eq_oracle.random_words ~rng ~max_tests:500 ~min_len:1 ~max_len:12;
-      ]
+  Eq_oracle.combine
+    [
+      Eq_oracle.w_method ~extra_states:1 ();
+      Eq_oracle.random_words ~rng ~max_tests:500 ~min_len:1 ~max_len:12;
+    ]
+
+let learn ?(seed = 1L) ?(algorithm = Learn.Ttt_tree) ?server_config ?exec () =
+  (* The adapter kept in the result records the Oracle Table for
+     synthesis; with an engine the pool workers are separate instances
+     and witness queries replay through this one. *)
+  let adapter = Tcp_adapter.create ?server_config ~seed () in
+  let eq = eq_oracle ~seed in
+  let result, exec_json =
+    match exec with
+    | None ->
+        let sul = Adapter.to_sul adapter in
+        (Learn.run ~algorithm ~inputs:Alphabet.all ~sul ~eq (), None)
+    | Some config ->
+        let module Engine = Prognosis_exec.Engine in
+        let master = Rng.create seed in
+        let wseeds =
+          Array.map Rng.next64
+            (Rng.split_n master config.Engine.workers)
+        in
+        let factory i = Tcp_adapter.sul ?server_config ~seed:wseeds.(i) () in
+        let engine = Engine.create ~config ~factory () in
+        let r =
+          Learn.run_mq ~algorithm
+            ~cache_stats:(fun () -> Engine.cache_stats engine)
+            ~inputs:Alphabet.all
+            ~mq:(Engine.membership engine)
+            ~eq ()
+        in
+        (r, Some (Engine.stats_json engine))
   in
-  let result = Learn.run ~algorithm ~inputs:Alphabet.all ~sul ~eq () in
   {
     model = result.Learn.model;
     report =
       Report.of_learn_result ~subject:"tcp" ~algorithm:(algorithm_name algorithm)
-        result;
+        ?exec:exec_json result;
     adapter;
   }
 

@@ -22,9 +22,15 @@ val learn :
   ?seed:int64 ->
   ?algorithm:Prognosis_learner.Learn.algorithm ->
   ?server_config:Prognosis_tcp.Tcp_server.config ->
+  ?exec:Prognosis_exec.Engine.config ->
   unit ->
   result
-(** Learns through a W-method + random-word equivalence oracle. *)
+(** Learns through a W-method + random-word equivalence oracle. With
+    [?exec], membership queries run through the query-execution engine
+    ({!Prognosis_exec.Engine}): a pool of [exec.workers] independent
+    adapters (seeds derived by {!Prognosis_sul.Rng.split_n}), batched
+    and prefix-sharing; the report then carries an [exec] stats
+    section. *)
 
 val input_field_names : string array
 (** [seq; ack; len] — the concrete fields synthesis ranges over. *)

@@ -1,0 +1,522 @@
+module Sul = Prognosis_sul.Sul
+module Nondet = Prognosis_sul.Nondet
+module Cache = Prognosis_learner.Cache
+module Oracle = Prognosis_learner.Oracle
+module Metrics = Prognosis_obs.Metrics
+module Trace = Prognosis_obs.Trace
+module Jsonx = Prognosis_obs.Jsonx
+
+type config = {
+  workers : int;
+  batch : bool;
+  parallel : bool;
+  replicas : int;
+  max_strikes : int;
+  cooldown : int;
+}
+
+let default =
+  {
+    workers = 1;
+    batch = true;
+    parallel = false;
+    replicas = 1;
+    max_strikes = 2;
+    cooldown = 256;
+  }
+
+type ('i, 'o) worker = {
+  id : int;
+  sul : ('i, 'o) Sul.t;
+  mutable position : 'i list option;
+      (* word replayed since the last reset; [None] = state unknown,
+         the next run must reset. Invariant: a set position is always a
+         cache-inserted word, so its per-step outputs are recoverable. *)
+  mutable runs_done : int;
+  mutable strikes : int;
+  mutable quarantined_until : int; (* engine run-clock value *)
+}
+
+type stats = {
+  mutable batches : int;
+  mutable planned_words : int;
+  mutable dedup_hits : int;
+  mutable prefix_answers : int;
+  mutable runs : int;
+  mutable resumed : int;
+  mutable resets : int;
+  mutable steps : int;
+  mutable baseline_resets : int;
+  mutable baseline_steps : int;
+  mutable disagreements : int;
+  mutable vote_runs : int;
+  mutable quarantines : int;
+}
+
+let fresh_stats () =
+  {
+    batches = 0;
+    planned_words = 0;
+    dedup_hits = 0;
+    prefix_answers = 0;
+    runs = 0;
+    resumed = 0;
+    resets = 0;
+    steps = 0;
+    baseline_resets = 0;
+    baseline_steps = 0;
+    disagreements = 0;
+    vote_runs = 0;
+    quarantines = 0;
+  }
+
+type ('i, 'o) t = {
+  config : config;
+  workers : ('i, 'o) worker array;
+  cache : ('i, 'o) Cache.t;
+  stats : stats;
+  oracle_stats : Oracle.stats;
+  mutable clock : int; (* total runs executed, for quarantine cooldowns *)
+  mutable rr : int; (* round-robin cursor for replica selection *)
+}
+
+let m_batches = Metrics.counter Metrics.default "exec.batches"
+let h_batch_words = Metrics.histogram Metrics.default "exec.batch_words"
+let m_planned = Metrics.counter Metrics.default "exec.planned_words"
+let m_dedup = Metrics.counter Metrics.default "exec.dedup_hits"
+let m_prefix_answers = Metrics.counter Metrics.default "exec.prefix_answers"
+let m_runs = Metrics.counter Metrics.default "exec.runs"
+let m_resumed = Metrics.counter Metrics.default "exec.resumed_runs"
+let m_resets = Metrics.counter Metrics.default "exec.resets"
+let m_steps = Metrics.counter Metrics.default "exec.steps"
+let g_saved_resets = Metrics.gauge Metrics.default "exec.saved_resets"
+let g_saved_steps = Metrics.gauge Metrics.default "exec.saved_steps"
+let m_disagreements = Metrics.counter Metrics.default "exec.disagreements"
+let m_vote_runs = Metrics.counter Metrics.default "exec.vote_runs"
+let m_quarantines = Metrics.counter Metrics.default "exec.quarantines"
+let g_workers = Metrics.gauge Metrics.default "exec.workers"
+let g_utilization = Metrics.gauge Metrics.default "exec.worker_utilization"
+
+let create ?(config = default) ~factory () =
+  if config.workers < 1 then invalid_arg "Engine.create: workers must be >= 1";
+  if config.replicas < 1 then
+    invalid_arg "Engine.create: replicas must be >= 1";
+  if config.replicas > config.workers then
+    invalid_arg "Engine.create: replicas cannot exceed workers";
+  let workers =
+    Array.init config.workers (fun id ->
+        {
+          id;
+          sul = factory id;
+          position = None;
+          runs_done = 0;
+          strikes = 0;
+          quarantined_until = 0;
+        })
+  in
+  Metrics.set g_workers (float_of_int config.workers);
+  {
+    config;
+    workers;
+    cache = Cache.create ();
+    stats = fresh_stats ();
+    oracle_stats = Oracle.fresh_stats ();
+    clock = 0;
+    rr = 0;
+  }
+
+let active_workers t =
+  let l = Array.to_list t.workers in
+  match List.filter (fun w -> w.quarantined_until <= t.clock) l with
+  | [] -> l (* unreachable: quarantine never empties the pool *)
+  | a -> a
+
+let rec drop n l =
+  if n = 0 then l else match l with [] -> [] | _ :: r -> drop (n - 1) r
+
+(* Per-slice accounting, merged into the shared stats on the main
+   domain: parallel slices never touch [t.stats] or the metrics
+   registry themselves. *)
+type acct = {
+  mutable a_runs : int;
+  mutable a_resumed : int;
+  mutable a_resets : int;
+  mutable a_steps : int;
+}
+
+let fresh_acct () = { a_runs = 0; a_resumed = 0; a_resets = 0; a_steps = 0 }
+
+let step_word acct worker word =
+  List.map
+    (fun x ->
+      acct.a_steps <- acct.a_steps + 1;
+      worker.sul.Sul.step x)
+    word
+
+(* Execute [word] on [worker]. With [resume] on, a worker standing at
+   the end of a cached strict prefix of [word] skips the reset and
+   steps only the suffix — the prefix outputs are replayed from the
+   cache. Votes run with [resume] off so replicated answers stay
+   independent of cached material. *)
+let run_word ~resume cache acct worker word =
+  acct.a_runs <- acct.a_runs + 1;
+  worker.runs_done <- worker.runs_done + 1;
+  let full () =
+    worker.position <- None;
+    worker.sul.Sul.reset ();
+    acct.a_resets <- acct.a_resets + 1;
+    let outs = step_word acct worker word in
+    worker.position <- Some word;
+    outs
+  in
+  match worker.position with
+  | Some pos
+    when resume && pos <> []
+         && List.length pos < List.length word
+         && Plan.is_prefix pos word -> (
+      match Cache.lookup cache pos with
+      | Some pos_outs ->
+          acct.a_resumed <- acct.a_resumed + 1;
+          worker.position <- None;
+          let souts = step_word acct worker (drop (List.length pos) word) in
+          worker.position <- Some word;
+          pos_outs @ souts
+      | None -> full ())
+  | _ -> full ()
+
+let flush t acct =
+  let s = t.stats in
+  s.runs <- s.runs + acct.a_runs;
+  s.resumed <- s.resumed + acct.a_resumed;
+  s.resets <- s.resets + acct.a_resets;
+  s.steps <- s.steps + acct.a_steps;
+  t.clock <- t.clock + acct.a_runs;
+  if acct.a_runs > 0 then Metrics.inc ~by:acct.a_runs m_runs;
+  if acct.a_resumed > 0 then Metrics.inc ~by:acct.a_resumed m_resumed;
+  if acct.a_resets > 0 then Metrics.inc ~by:acct.a_resets m_resets;
+  if acct.a_steps > 0 then Metrics.inc ~by:acct.a_steps m_steps;
+  let mx = Array.fold_left (fun m w -> max m w.runs_done) 0 t.workers in
+  let mn =
+    Array.fold_left (fun m w -> min m w.runs_done) max_int t.workers
+  in
+  if mx > 0 then Metrics.set g_utilization (float_of_int mn /. float_of_int mx)
+
+(* The engine's savings are reported against the no-reuse sequential
+   oracle: every query the learner (or equivalence suite) asks costs
+   one reset plus one step per symbol when executed directly. The
+   boundary where that cost is counted is [membership] — before the
+   cache, so hits, prefix answers, batch dedup and resume all show up
+   as savings. *)
+let count_baseline t word =
+  let s = t.stats in
+  s.baseline_resets <- s.baseline_resets + 1;
+  s.baseline_steps <- s.baseline_steps + List.length word
+
+let sync_saved t =
+  let s = t.stats in
+  Metrics.set g_saved_resets (float_of_int (s.baseline_resets - s.resets));
+  Metrics.set g_saved_steps (float_of_int (s.baseline_steps - s.steps))
+
+(* Longest usable resume position wins; ties go to the least-used
+   worker so utilization stays balanced. *)
+let pick_worker t word =
+  let score w =
+    match w.position with
+    | Some p
+      when p <> []
+           && List.length p < List.length word
+           && Plan.is_prefix p word
+           && Cache.lookup t.cache p <> None ->
+        List.length p
+    | _ -> -1
+  in
+  match active_workers t with
+  | [] -> assert false
+  | first :: rest ->
+      List.fold_left
+        (fun best w ->
+          let sw = score w and sb = score best in
+          if sw > sb || (sw = sb && w.runs_done < best.runs_done) then w
+          else best)
+        first rest
+
+let pick_replicas t n =
+  let a = Array.of_list (active_workers t) in
+  let k = Array.length a in
+  let n = min n k in
+  let start = t.rr in
+  t.rr <- t.rr + 1;
+  List.init n (fun i -> a.((start + i) mod k))
+
+let tally answers =
+  let rec add obs a =
+    match obs with
+    | [] -> [ { Nondet.answer = a; count = 1 } ]
+    | o :: rest ->
+        if o.Nondet.answer = a then { o with Nondet.count = o.count + 1 } :: rest
+        else o :: add rest a
+  in
+  List.sort
+    (fun a b -> compare b.Nondet.count a.Nondet.count)
+    (List.fold_left add [] (List.map snd answers))
+
+let strike t worker =
+  worker.strikes <- worker.strikes + 1;
+  if
+    worker.strikes >= t.config.max_strikes
+    && List.length (active_workers t) > 1
+  then begin
+    worker.quarantined_until <- t.clock + t.config.cooldown;
+    worker.strikes <- 0;
+    worker.position <- None;
+    t.stats.quarantines <- t.stats.quarantines + 1;
+    Metrics.inc m_quarantines;
+    if Trace.enabled () then
+      Trace.event
+        ~attrs:
+          [
+            ("worker", Jsonx.Int worker.id);
+            ("until_run", Jsonx.Int worker.quarantined_until);
+          ]
+        "exec.quarantine"
+  end
+
+(* Replicated execution: the word runs in full on [replicas] distinct
+   workers; agreement returns immediately, disagreement escalates to
+   every active worker and takes the strict-majority answer, striking
+   the outvoted workers (quarantine after [max_strikes], re-admitted
+   after [cooldown] runs). No majority means the pool as a whole
+   answers nondeterministically — exactly the situation the paper's §5
+   check reports. *)
+let vote t acct word =
+  let chosen = pick_replicas t t.config.replicas in
+  let answers =
+    List.map (fun w -> (w, run_word ~resume:false t.cache acct w word)) chosen
+  in
+  t.stats.vote_runs <- t.stats.vote_runs + List.length answers - 1;
+  if List.length answers > 1 then
+    Metrics.inc ~by:(List.length answers - 1) m_vote_runs;
+  match tally answers with
+  | [ only ] -> only.Nondet.answer
+  | _ ->
+      t.stats.disagreements <- t.stats.disagreements + 1;
+      Metrics.inc m_disagreements;
+      if Trace.enabled () then
+        Trace.event
+          ~attrs:[ ("word_len", Jsonx.Int (List.length word)) ]
+          "exec.disagreement";
+      let chosen_ids = List.map (fun (w, _) -> w.id) answers in
+      let rest =
+        List.filter
+          (fun w -> not (List.mem w.id chosen_ids))
+          (active_workers t)
+      in
+      let more =
+        List.map (fun w -> (w, run_word ~resume:false t.cache acct w word)) rest
+      in
+      t.stats.vote_runs <- t.stats.vote_runs + List.length more;
+      if more <> [] then Metrics.inc ~by:(List.length more) m_vote_runs;
+      let all = answers @ more in
+      let obs = tally all in
+      let best = List.hd obs in
+      let total = List.length all in
+      if 2 * best.Nondet.count > total then begin
+        let majority = best.Nondet.answer in
+        List.iter (fun (w, a) -> if a <> majority then strike t w) all;
+        majority
+      end
+      else
+        raise
+          (Nondet.Nondeterministic_sul
+             (Printf.sprintf
+                "query pool: no majority on a %d-symbol word (%d distinct \
+                 answers over %d runs)"
+                (List.length word) (List.length obs) total))
+
+let exec_word t word =
+  let acct = fresh_acct () in
+  let outs =
+    if t.config.replicas > 1 then vote t acct word
+    else run_word ~resume:true t.cache acct (pick_worker t word) word
+  in
+  Cache.insert t.cache word outs;
+  flush t acct;
+  outs
+
+(* One domain per worker; slices only read the cache (resume lookups
+   against material from earlier batches) and write their own worker
+   record and a local acct, so the parallel phase is race-free. Cache
+   inserts, stats and metrics all happen after the join, on the main
+   domain. Runs within a batch are pairwise non-prefix (maximality),
+   so no slice ever needs an output produced by the current batch. *)
+let parallel_exec t acct runs =
+  let actives = Array.of_list (active_workers t) in
+  let n = Array.length actives in
+  let slices = Array.make n [] in
+  List.iteri (fun i w -> slices.(i mod n) <- w :: slices.(i mod n)) runs;
+  let slices = Array.map List.rev slices in
+  let exec_slice k () =
+    let local = fresh_acct () in
+    let worker = actives.(k) in
+    let results =
+      List.map
+        (fun word -> (word, run_word ~resume:true t.cache local worker word))
+        slices.(k)
+    in
+    (results, local)
+  in
+  let domains =
+    Array.init (n - 1) (fun k -> Domain.spawn (exec_slice (k + 1)))
+  in
+  let main = try Ok (exec_slice 0 ()) with e -> Error e in
+  let joined =
+    Array.map (fun d -> try Ok (Domain.join d) with e -> Error e) domains
+  in
+  let all = Array.append [| main |] joined in
+  Array.iter (function Error e -> raise e | Ok _ -> ()) all;
+  Array.iter
+    (function
+      | Error _ -> ()
+      | Ok (results, local) ->
+          acct.a_runs <- acct.a_runs + local.a_runs;
+          acct.a_resumed <- acct.a_resumed + local.a_resumed;
+          acct.a_resets <- acct.a_resets + local.a_resets;
+          acct.a_steps <- acct.a_steps + local.a_steps;
+          List.iter (fun (w, outs) -> Cache.insert t.cache w outs) results)
+    all
+
+let exec_batch t words =
+  let plan = Plan.build words in
+  let s = t.stats in
+  s.batches <- s.batches + 1;
+  Metrics.inc m_batches;
+  Metrics.observe h_batch_words (float_of_int plan.Plan.words);
+  s.planned_words <- s.planned_words + plan.Plan.words;
+  Metrics.inc ~by:plan.Plan.words m_planned;
+  if plan.Plan.dupes > 0 then begin
+    s.dedup_hits <- s.dedup_hits + plan.Plan.dupes;
+    Metrics.inc ~by:plan.Plan.dupes m_dedup
+  end;
+  if plan.Plan.subsumed > 0 then begin
+    s.prefix_answers <- s.prefix_answers + plan.Plan.subsumed;
+    Metrics.inc ~by:plan.Plan.subsumed m_prefix_answers
+  end;
+  let acct = fresh_acct () in
+  let execute () =
+    if t.config.replicas > 1 then
+      List.iter
+        (fun w ->
+          let outs = vote t acct w in
+          Cache.insert t.cache w outs)
+        plan.Plan.runs
+    else if
+      t.config.parallel
+      && List.length (active_workers t) > 1
+      && List.length plan.Plan.runs > 1
+      && not (Trace.enabled ())
+      (* the trace sink is not safe to share across domains *)
+    then parallel_exec t acct plan.Plan.runs
+    else
+      List.iter
+        (fun w ->
+          let run () =
+            let outs = run_word ~resume:true t.cache acct (pick_worker t w) w in
+            Cache.insert t.cache w outs
+          in
+          if Trace.enabled () then
+            Trace.with_span
+              ~attrs:[ ("len", Jsonx.Int (List.length w)) ]
+              "oracle.mq" run
+          else run ())
+        plan.Plan.runs
+  in
+  if Trace.enabled () then
+    Trace.with_span
+      ~attrs:
+        [
+          ("words", Jsonx.Int plan.Plan.words);
+          ("runs", Jsonx.Int (List.length plan.Plan.runs));
+        ]
+      "exec.batch" execute
+  else execute ();
+  flush t acct;
+  List.map
+    (fun w ->
+      match Cache.lookup t.cache w with
+      | Some a -> a
+      | None -> assert false (* every planned word is covered by a run *))
+    words
+
+let membership t =
+  let cached =
+    Cache.wrap t.cache
+      (Oracle.of_fun ~stats:t.oracle_stats
+         ?batch:(if t.config.batch then Some (exec_batch t) else None)
+         (exec_word t))
+  in
+  (* Count the no-reuse sequential baseline for every query crossing
+     the learner boundary — including the ones the cache answers. *)
+  let ask word =
+    count_baseline t word;
+    let outs = cached.Oracle.ask word in
+    sync_saved t;
+    outs
+  in
+  let ask_batch =
+    Option.map
+      (fun f words ->
+        List.iter (count_baseline t) words;
+        let outs = f words in
+        sync_saved t;
+        outs)
+      cached.Oracle.ask_batch
+  in
+  { cached with Oracle.ask; ask_batch }
+
+let config t = t.config
+let stats t = t.stats
+let oracle_stats t = t.oracle_stats
+let cache_stats t = (Cache.hits t.cache, Cache.misses t.cache)
+let worker_runs t = Array.map (fun w -> w.runs_done) t.workers
+let saved_resets t = t.stats.baseline_resets - t.stats.resets
+let saved_steps t = t.stats.baseline_steps - t.stats.steps
+
+let quarantined t =
+  Array.to_list t.workers
+  |> List.filter (fun w -> w.quarantined_until > t.clock)
+  |> List.map (fun w -> w.id)
+
+let stats_json t =
+  let s = t.stats in
+  let hits, misses = cache_stats t in
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.String "prognosis.exec/1");
+      ("workers", Jsonx.Int t.config.workers);
+      ("replicas", Jsonx.Int t.config.replicas);
+      ("batch", Jsonx.Bool t.config.batch);
+      ("parallel", Jsonx.Bool t.config.parallel);
+      ("batches", Jsonx.Int s.batches);
+      ("planned_words", Jsonx.Int s.planned_words);
+      ("dedup_hits", Jsonx.Int s.dedup_hits);
+      ("prefix_answers", Jsonx.Int s.prefix_answers);
+      ("runs", Jsonx.Int s.runs);
+      ("resumed_runs", Jsonx.Int s.resumed);
+      ("resets", Jsonx.Int s.resets);
+      ("steps", Jsonx.Int s.steps);
+      ("baseline_resets", Jsonx.Int s.baseline_resets);
+      ("baseline_steps", Jsonx.Int s.baseline_steps);
+      ("saved_resets", Jsonx.Int (saved_resets t));
+      ("saved_steps", Jsonx.Int (saved_steps t));
+      ("cache_hits", Jsonx.Int hits);
+      ("cache_misses", Jsonx.Int misses);
+      ("disagreements", Jsonx.Int s.disagreements);
+      ("vote_runs", Jsonx.Int s.vote_runs);
+      ("quarantines", Jsonx.Int s.quarantines);
+      ( "worker_runs",
+        Jsonx.List
+          (Array.to_list
+             (Array.map (fun w -> Jsonx.Int w.runs_done) t.workers)) );
+      ( "quarantined_workers",
+        Jsonx.List (List.map (fun id -> Jsonx.Int id) (quarantined t)) );
+    ]

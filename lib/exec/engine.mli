@@ -1,0 +1,115 @@
+(** The query-execution engine: a batched, prefix-sharing,
+    multi-worker SUL pool.
+
+    Prognosis's cost model is membership queries against a live
+    implementation (paper §4.1), and learning time is dominated by
+    executing them — every query is a reset plus one step per symbol.
+    The engine sits between the learner's oracles and the SUL adapters
+    and attacks that cost three ways:
+
+    - {b planning} — a batch of pending queries is deduplicated, words
+      that are prefixes of longer planned words are answered for free
+      from the longer run's per-step outputs, and the surviving maximal
+      words are ordered for prefix locality ({!Plan});
+    - {b pooling} — N factory-constructed SUL instances execute the
+      planned runs, each worker tracking the word it has replayed since
+      its last reset so a run extending that word resumes mid-replay
+      (the reset and the shared prefix's steps are skipped — their
+      outputs come from the engine's cache). Batches optionally run in
+      parallel, one OCaml 5 domain per worker, for pure in-process
+      substrates;
+    - {b robustness} — with [replicas >= 2] every run executes on that
+      many distinct workers; disagreement escalates to the whole active
+      pool and takes the strict-majority answer (the per-query retry),
+      striking outvoted workers. A worker reaching [max_strikes] is
+      quarantined — a circuit breaker — and re-admitted after
+      [cooldown] further pool runs. No majority raises
+      {!Prognosis_sul.Nondet.Nondeterministic_sul}: a pool that cannot
+      agree is the paper's §5 nondeterminism diagnosis.
+
+    The engine fronts everything with the standard
+    {!Prognosis_learner.Cache}, so {!membership} is a drop-in
+    [Oracle.membership] for {!Prognosis_learner.Learn.run_mq}: cache
+    misses are exactly the words that reach the pool. *)
+
+type config = {
+  workers : int;  (** pool size (>= 1) *)
+  batch : bool;  (** advertise [ask_batch] to suite-driven oracles *)
+  parallel : bool;
+      (** execute batch runs across domains; forced off while a trace
+          sink is installed (the sink is not domain-safe) and ignored
+          when [replicas > 1] *)
+  replicas : int;  (** full runs per word for cross-validation (>= 1,
+                       <= workers) *)
+  max_strikes : int;  (** outvoted answers before quarantine *)
+  cooldown : int;  (** pool runs a quarantined worker sits out *)
+}
+
+val default : config
+(** [{ workers = 1; batch = true; parallel = false; replicas = 1;
+      max_strikes = 2; cooldown = 256 }] *)
+
+type ('i, 'o) t
+
+val create :
+  ?config:config -> factory:(int -> ('i, 'o) Prognosis_sul.Sul.t) -> unit -> ('i, 'o) t
+(** [create ~factory ()] builds the pool; [factory i] must return an
+    independent SUL instance for worker [i] (give each its own
+    {!Prognosis_sul.Rng} stream — see {!Prognosis_sul.Rng.split}).
+    @raise Invalid_argument on a non-positive worker count or
+    [replicas] outside [1, workers]. *)
+
+val membership : ('i, 'o) t -> ('i, 'o) Prognosis_learner.Oracle.membership
+(** The engine as a membership oracle. [ask] answers one word;
+    [ask_batch] (present when [config.batch]) plans and executes a
+    whole batch. Answers are observationally identical to a direct
+    sequential oracle over one [factory] instance — batching and
+    pooling only change cost. The oracle's [stats] count the words
+    that reached the pool (= the engine's cache misses). *)
+
+type stats = {
+  mutable batches : int;
+  mutable planned_words : int;  (** cache-missing words submitted *)
+  mutable dedup_hits : int;  (** duplicate words collapsed in batches *)
+  mutable prefix_answers : int;
+      (** words answered from a longer planned run *)
+  mutable runs : int;  (** live SUL executions *)
+  mutable resumed : int;  (** runs that skipped the reset via resume *)
+  mutable resets : int;
+  mutable steps : int;
+  mutable baseline_resets : int;
+  mutable baseline_steps : int;
+      (** cost of the no-reuse sequential oracle on the same query
+          stream: one reset plus one step per symbol for every word
+          crossing the {!membership} boundary (cache hits included) *)
+  mutable disagreements : int;
+  mutable vote_runs : int;  (** replica + escalation runs beyond the
+                                first run of each voted word *)
+  mutable quarantines : int;
+}
+
+val stats : ('i, 'o) t -> stats
+val oracle_stats : ('i, 'o) t -> Prognosis_learner.Oracle.stats
+val config : ('i, 'o) t -> config
+
+val cache_stats : ('i, 'o) t -> int * int
+(** (hits, misses) of the engine's cache — pass to
+    {!Prognosis_learner.Learn.run_mq}'s [cache_stats]. *)
+
+val worker_runs : ('i, 'o) t -> int array
+(** Per-worker runs executed (utilization). *)
+
+val saved_resets : ('i, 'o) t -> int
+val saved_steps : ('i, 'o) t -> int
+(** Baseline minus actual, where the baseline is the no-reuse
+    sequential oracle (every query executed directly: one reset plus
+    one step per symbol). Negative when replication spends more than
+    caching and planning save. *)
+
+val quarantined : ('i, 'o) t -> int list
+(** Ids of currently quarantined workers. *)
+
+val stats_json : ('i, 'o) t -> Prognosis_obs.Jsonx.t
+(** Schema-versioned ["prognosis.exec/1"] object for
+    {!Report.to_json}'s [exec] section and the bench snapshot. *)
+

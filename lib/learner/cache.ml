@@ -56,27 +56,123 @@ let lookup t word =
   in
   go t.root word []
 
+let lookup_longest_prefix t word =
+  let rec go node word acc_in acc_out =
+    let stop () =
+      match acc_in with
+      | [] -> None
+      | _ -> Some (List.rev acc_in, List.rev acc_out)
+    in
+    match word with
+    | [] -> stop ()
+    | x :: word' -> (
+        match Hashtbl.find_opt node.children x with
+        | Some c -> (
+            match c.output with
+            | Some o -> go c word' (x :: acc_in) (o :: acc_out)
+            | None -> stop ())
+        | None -> stop ())
+  in
+  go t.root word [] []
+
 let size t = t.nodes
 let hits t = t.hits
 let misses t = t.misses
 
 let m_hits = Metrics.counter Metrics.default "cache.hits"
 let m_misses = Metrics.counter Metrics.default "cache.misses"
+let m_prefix_hits = Metrics.counter Metrics.default "cache.prefix_hits"
+let m_prefix_symbols = Metrics.counter Metrics.default "cache.prefix_symbols"
 let g_nodes = Metrics.gauge Metrics.default "cache.nodes"
 
+let rec split_at n l =
+  if n = 0 then ([], l)
+  else
+    match l with
+    | [] -> invalid_arg "Cache.split_at"
+    | x :: rest ->
+        let a, b = split_at (n - 1) rest in
+        (x :: a, b)
+
 let wrap t (mq : ('i, 'o) Oracle.membership) =
+  (* On a miss the underlying oracle still replays the full word (a
+     plain SUL cannot start mid-run), but when a cached word is a
+     prefix of the query the cached per-step outputs stand in for the
+     fresh prefix outputs: an engine-backed oracle uses the same cache
+     to resume a worker mid-word, and the fresh/cached comparison
+     preserves the nondeterminism detection [insert] would perform. *)
+  let miss word =
+    t.misses <- t.misses + 1;
+    Metrics.inc m_misses;
+    let answer =
+      match lookup_longest_prefix t word with
+      | None -> mq.ask word
+      | Some (prefix, cached_outs) ->
+          let k = List.length prefix in
+          let fresh = mq.ask word in
+          let fresh_prefix, fresh_suffix = split_at k fresh in
+          if fresh_prefix <> cached_outs then
+            invalid_arg
+              "Cache.insert: conflicting outputs (nondeterministic SUL?)";
+          Metrics.inc m_prefix_hits;
+          Metrics.inc ~by:k m_prefix_symbols;
+          cached_outs @ fresh_suffix
+    in
+    insert t word answer;
+    Metrics.set g_nodes (float_of_int t.nodes);
+    answer
+  in
   let ask word =
     match lookup t word with
     | Some answer ->
         t.hits <- t.hits + 1;
         Metrics.inc m_hits;
         answer
-    | None ->
-        t.misses <- t.misses + 1;
-        Metrics.inc m_misses;
-        let answer = mq.ask word in
-        insert t word answer;
-        Metrics.set g_nodes (float_of_int t.nodes);
-        answer
+    | None -> miss word
   in
-  { mq with Oracle.ask }
+  let ask_batch =
+    Option.map
+      (fun batch words ->
+        (* Answer what the cache already knows, send only the misses
+           down in one batch, then stitch answers back in order. The
+           underlying batch may execute misses in any order, so cached
+           answers for the hit words are resolved up front. *)
+        let tagged =
+          List.map
+            (fun word ->
+              match lookup t word with
+              | Some answer ->
+                  t.hits <- t.hits + 1;
+                  Metrics.inc m_hits;
+                  Either.Left answer
+              | None ->
+                  t.misses <- t.misses + 1;
+                  Metrics.inc m_misses;
+                  Either.Right word)
+            words
+        in
+        let missing =
+          List.filter_map
+            (function Either.Right w -> Some w | Either.Left _ -> None)
+            tagged
+        in
+        let answers =
+          match missing with
+          | [] -> []
+          | _ ->
+              let answers = batch missing in
+              List.iter2 (insert t) missing answers;
+              Metrics.set g_nodes (float_of_int t.nodes);
+              answers
+        in
+        let rec stitch tagged answers =
+          match (tagged, answers) with
+          | [], [] -> []
+          | Either.Left a :: rest, answers -> a :: stitch rest answers
+          | Either.Right _ :: rest, a :: answers -> a :: stitch rest answers
+          | _ -> invalid_arg "Cache.wrap: batch answer count mismatch"
+        in
+        stitch tagged answers)
+      mq.Oracle.ask_batch
+  in
+  { mq with Oracle.ask; ask_batch }

@@ -17,6 +17,13 @@ val insert : ('i, 'o) t -> 'i list -> 'o list -> unit
 
 val lookup : ('i, 'o) t -> 'i list -> 'o list option
 
+val lookup_longest_prefix : ('i, 'o) t -> 'i list -> ('i list * 'o list) option
+(** [lookup_longest_prefix t word] is [Some (prefix, outputs)] for the
+    longest non-empty prefix of [word] the cache can answer, or [None]
+    when not even the first symbol is cached. A partial replay can
+    resume from [prefix] instead of restarting: only the un-cached
+    suffix still needs live execution. *)
+
 val size : ('i, 'o) t -> int
 (** Number of trie nodes (an upper bound on distinct cached symbols). *)
 
@@ -25,4 +32,10 @@ val misses : ('i, 'o) t -> int
 
 val wrap : ('i, 'o) t -> ('i, 'o) Oracle.membership -> ('i, 'o) Oracle.membership
 (** Caching view of a membership oracle: only cache misses reach the
-    underlying oracle (and are counted in its statistics). *)
+    underlying oracle (and are counted in its statistics). When a
+    cached word is a prefix of a missing query, the cached per-step
+    outputs are reused for the prefix and compared against the fresh
+    replay — a mismatch raises the same [Invalid_argument] as a
+    conflicting {!insert} (nondeterministic SUL). If the underlying
+    oracle supports [ask_batch], so does the wrapped one: cached words
+    are answered up front and only the misses are batched down. *)

@@ -3,7 +3,14 @@
     True equivalence queries would require an omniscient oracle, so
     hypotheses are tested: a returned counterexample is always genuine,
     while "no counterexample" only means none was found by the chosen
-    test strategy. *)
+    test strategy.
+
+    When the membership oracle advertises [ask_batch] (see
+    {!Oracle.membership}), suite-driven oracles execute their words in
+    chunks through it — the engine behind the batch shares resets
+    across prefix-related words — and still return the first
+    counterexample in suite order. With a plain oracle the behaviour
+    is exactly the historical word-at-a-time fold. *)
 
 val random_words :
   rng:Prognosis_sul.Rng.t ->

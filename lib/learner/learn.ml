@@ -52,17 +52,25 @@ let finish_span (r : ('i, 'o) result) =
   Trace.add_attr "cache_hits" (Jsonx.Int r.cache_hits);
   r
 
-let run_mq ?(algorithm = Ttt_tree) ?max_rounds ~inputs ~mq ~eq () =
-  learn_span ~algorithm ~subject:"mq" ~cache:false (fun () ->
+let run_mq ?(algorithm = Ttt_tree) ?max_rounds ?cache_stats ~inputs ~mq ~eq ()
+    =
+  let cached = Option.is_some cache_stats in
+  learn_span ~algorithm ~subject:"mq" ~cache:cached (fun () ->
       let model, rounds = dispatch algorithm ?max_rounds ~inputs ~mq ~eq () in
       log_result "run_mq" model rounds mq.Oracle.stats;
+      let hits, misses =
+        match cache_stats with Some f -> f () | None -> (0, 0)
+      in
+      if hits + misses > 0 then
+        Metrics.set g_hit_rate
+          (float_of_int hits /. float_of_int (hits + misses));
       finish_span
         {
           model;
           rounds;
           stats = mq.Oracle.stats;
-          cache_hits = 0;
-          cache_misses = 0;
+          cache_hits = hits;
+          cache_misses = misses;
         })
 
 let run ?(algorithm = Ttt_tree) ?max_rounds ?(cache = true) ~inputs ~sul ~eq () =

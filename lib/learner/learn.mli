@@ -32,9 +32,13 @@ val run :
 val run_mq :
   ?algorithm:algorithm ->
   ?max_rounds:int ->
+  ?cache_stats:(unit -> int * int) ->
   inputs:'i array ->
   mq:('i, 'o) Oracle.membership ->
   eq:('i, 'o) Oracle.equivalence ->
   unit ->
   ('i, 'o) result
-(** Variant taking a prebuilt membership oracle (no extra caching). *)
+(** Variant taking a prebuilt membership oracle (no extra caching).
+    When [mq] carries its own cache (the query-execution engine does),
+    pass [cache_stats] returning its (hits, misses) so the result and
+    the [learn.cache_hit_rate] gauge reflect it. *)

@@ -17,7 +17,11 @@ let fresh_stats () =
     test_words = 0;
   }
 
-type ('i, 'o) membership = { ask : 'i list -> 'o list; stats : stats }
+type ('i, 'o) membership = {
+  ask : 'i list -> 'o list;
+  ask_batch : ('i list list -> 'o list list) option;
+  stats : stats;
+}
 
 let m_queries = Metrics.counter Metrics.default "oracle.membership_queries"
 let m_symbols = Metrics.counter Metrics.default "oracle.membership_symbols"
@@ -28,7 +32,7 @@ let h_latency = Metrics.histogram Metrics.default "oracle.mq_latency_ns"
    layers sit *above* this oracle and short-circuit before [ask] runs,
    which is what keeps [membership_queries] an exact count of queries
    the SUL actually served. *)
-let of_fun ?stats f =
+let of_fun ?stats ?batch f =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
   let ask word =
     stats.membership_queries <- stats.membership_queries + 1;
@@ -47,7 +51,25 @@ let of_fun ?stats f =
     Metrics.observe_ns h_latency (Int64.sub (Clock.now_ns ()) t0);
     answer
   in
-  { ask; stats }
+  (* A batch executor is accounted like the equivalent sequence of
+     single queries: every batched word reached the underlying
+     function, so the per-query invariants (and the cache-miss
+     equality the driver asserts) keep holding. *)
+  let ask_batch =
+    Option.map
+      (fun f words ->
+        List.iter
+          (fun word ->
+            stats.membership_queries <- stats.membership_queries + 1;
+            stats.membership_symbols <-
+              stats.membership_symbols + List.length word;
+            Metrics.inc m_queries;
+            Metrics.inc ~by:(List.length word) m_symbols)
+          words;
+        f words)
+      batch
+  in
+  { ask; ask_batch; stats }
 
 let of_sul ?stats sul = of_fun ?stats (Prognosis_sul.Sul.query sul)
 

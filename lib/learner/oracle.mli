@@ -16,10 +16,26 @@ type stats = {
 
 val fresh_stats : unit -> stats
 
-type ('i, 'o) membership = { ask : 'i list -> 'o list; stats : stats }
+type ('i, 'o) membership = {
+  ask : 'i list -> 'o list;
+  ask_batch : ('i list list -> 'o list list) option;
+      (** Optional bulk entry point: answers a whole list of words in
+          one call, one answer per word, in order. Oracles that can
+          plan query execution (the {!Prognosis_exec} engine) expose
+          it; consumers must treat [None] as "ask one word at a time".
+          Semantically [ask_batch ws = List.map ask ws] — batching may
+          only change cost, never answers. *)
+  stats : stats;
+}
 
-val of_fun : ?stats:stats -> ('i list -> 'o list) -> ('i, 'o) membership
-(** Wraps a raw query function, counting queries and symbols. *)
+val of_fun :
+  ?stats:stats ->
+  ?batch:('i list list -> 'o list list) ->
+  ('i list -> 'o list) ->
+  ('i, 'o) membership
+(** Wraps a raw query function, counting queries and symbols. When
+    [batch] is given it becomes the oracle's [ask_batch], with every
+    batched word counted exactly like a single query. *)
 
 val of_sul : ?stats:stats -> ('i, 'o) Prognosis_sul.Sul.t -> ('i, 'o) membership
 

@@ -13,6 +13,7 @@ let next64 t =
   logxor z (shift_right_logical z 31)
 
 let split t = create (next64 t)
+let split_n t n = Array.init n (fun _ -> split t)
 
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";

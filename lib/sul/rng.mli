@@ -10,7 +10,15 @@ val create : int64 -> t
 val copy : t -> t
 
 val split : t -> t
-(** Independent child generator; the parent advances. *)
+(** Independent child generator; the parent advances. Consumers that
+    need several randomness streams (a worker pool, fault injection
+    alongside protocol nonces) must split one master generator rather
+    than share [t]: split streams are reproducible from the master
+    seed and pairwise different. *)
+
+val split_n : t -> int -> t array
+(** [split_n t n] is [n] independent child generators, in split order;
+    the parent advances [n] times. *)
 
 val next64 : t -> int64
 val int : t -> int -> int

@@ -1,0 +1,36 @@
+Learn a TCP model through the query-execution engine (a pool of four
+workers, batched suites) and check the CLI surface: the human-readable
+exec summary line, and the schema-versioned exec section plus engine
+metrics in the machine-readable report.
+
+  $ ../bin/prognosis_cli.exe learn --protocol tcp --workers 4 --batch --metrics-out m.json | grep -o 'exec: [0-9]* workers'
+  exec: 4 workers
+
+The report carries the exec stats block:
+
+  $ grep -c '"schema":"prognosis.exec/1"' m.json
+  1
+  $ grep -l '"planned_words"' m.json
+  m.json
+  $ grep -l '"saved_resets"' m.json
+  m.json
+  $ grep -l '"worker_runs"' m.json
+  m.json
+
+The engine's metrics are registered alongside the learner's:
+
+  $ grep -l '"exec.batches"' m.json
+  m.json
+  $ grep -l '"exec.batch_words"' m.json
+  m.json
+  $ grep -l '"exec.runs"' m.json
+  m.json
+  $ grep -l '"exec.worker_utilization"' m.json
+  m.json
+
+A plain sequential invocation advertises no exec section:
+
+  $ ../bin/prognosis_cli.exe learn --protocol tcp --metrics-out seq.json > /dev/null
+  $ grep -c '"prognosis.exec/1"' seq.json
+  0
+  [1]

@@ -72,6 +72,50 @@ let cache_prefix_answers () =
   Alcotest.(check (option (list int))) "empty" (Some []) (Cache.lookup c []);
   Alcotest.(check (option (list int))) "miss" None (Cache.lookup c [ 'a'; 'z' ])
 
+let cache_longest_prefix () =
+  let c = Cache.create () in
+  Cache.insert c [ 'a'; 'b'; 'c' ] [ 1; 2; 3 ];
+  Alcotest.(check (option (pair (list char) (list int))))
+    "partial" (Some ([ 'a'; 'b'; 'c' ], [ 1; 2; 3 ]))
+    (Cache.lookup_longest_prefix c [ 'a'; 'b'; 'c'; 'd'; 'e' ]);
+  Alcotest.(check (option (pair (list char) (list int))))
+    "diverging suffix" (Some ([ 'a' ], [ 1 ]))
+    (Cache.lookup_longest_prefix c [ 'a'; 'z' ]);
+  Alcotest.(check (option (pair (list char) (list int))))
+    "exact word" (Some ([ 'a'; 'b'; 'c' ], [ 1; 2; 3 ]))
+    (Cache.lookup_longest_prefix c [ 'a'; 'b'; 'c' ]);
+  Alcotest.(check (option (pair (list char) (list int))))
+    "cold" None (Cache.lookup_longest_prefix c [ 'z' ]);
+  Alcotest.(check (option (pair (list char) (list int))))
+    "empty word" None (Cache.lookup_longest_prefix c [])
+
+(* A miss extending a cached word replays in full, and the fresh
+   prefix outputs must agree with the cached ones — otherwise the SUL
+   is nondeterministic and the wrap says so. *)
+let wrap_checks_prefix_replay () =
+  let asked = ref [] in
+  let mq =
+    Oracle.of_fun (fun w ->
+        asked := w :: !asked;
+        List.mapi (fun i _ -> i) w)
+  in
+  let c = Cache.create () in
+  let cached = Cache.wrap c mq in
+  Alcotest.(check (list int)) "first" [ 0; 1 ] (cached.Oracle.ask [ 'a'; 'b' ]);
+  Alcotest.(check (list int)) "extension" [ 0; 1; 2 ]
+    (cached.Oracle.ask [ 'a'; 'b'; 'c' ]);
+  Alcotest.(check (list (list char))) "both reached the oracle"
+    [ [ 'a'; 'b'; 'c' ]; [ 'a'; 'b' ] ] !asked;
+  (* A lying oracle whose fresh replay contradicts the cached prefix is
+     caught. *)
+  let lying = Oracle.of_fun (fun w -> List.map (fun _ -> 99) w) in
+  let c2 = Cache.create () in
+  Cache.insert c2 [ 'a' ] [ 1 ];
+  let cached2 = Cache.wrap c2 lying in
+  Alcotest.check_raises "prefix conflict"
+    (Invalid_argument "Cache.insert: conflicting outputs (nondeterministic SUL?)")
+    (fun () -> ignore (cached2.Oracle.ask [ 'a'; 'b' ]))
+
 let cache_detects_conflict () =
   let c = Cache.create () in
   Cache.insert c [ 'a' ] [ 1 ];
@@ -286,6 +330,9 @@ let () =
       ( "cache",
         [
           Alcotest.test_case "prefix answers" `Quick cache_prefix_answers;
+          Alcotest.test_case "longest prefix" `Quick cache_longest_prefix;
+          Alcotest.test_case "prefix replay check" `Quick
+            wrap_checks_prefix_replay;
           Alcotest.test_case "conflict detection" `Quick cache_detects_conflict;
           Alcotest.test_case "saves queries" `Quick cache_saves_queries;
           Alcotest.test_case "cached learning" `Quick cached_learning_equivalent;

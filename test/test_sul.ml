@@ -30,6 +30,30 @@ let rng_split_independent () =
   (* Parent advanced; child produces a different stream. *)
   Alcotest.(check bool) "diverged" false (Rng.next64 a = Rng.next64 child)
 
+let rng_split_reproducible () =
+  (* Splitting is a pure function of the parent's state: the same seed
+     yields the same child streams, run after run. *)
+  let streams seed =
+    let parent = Rng.create seed in
+    Array.to_list (Rng.split_n parent 4)
+    |> List.map (fun r -> List.init 5 (fun _ -> Rng.next64 r))
+  in
+  Alcotest.(check (list (list int64)))
+    "same seed, same streams" (streams 42L) (streams 42L)
+
+let rng_split_n_pairwise_different () =
+  let parent = Rng.create 9L in
+  let children = Rng.split_n parent 8 in
+  let firsts = Array.map (fun r -> List.init 4 (fun _ -> Rng.next64 r)) children in
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if i < j && a = b then
+            Alcotest.failf "children %d and %d share a stream" i j)
+        firsts)
+    firsts
+
 let rng_int_bounds () =
   let rng = Rng.create 3L in
   for _ = 1 to 1000 do
@@ -391,6 +415,9 @@ let () =
           Alcotest.test_case "seed sensitivity" `Quick rng_seed_sensitivity;
           Alcotest.test_case "copy" `Quick rng_copy_independent;
           Alcotest.test_case "split" `Quick rng_split_independent;
+          Alcotest.test_case "split reproducible" `Quick rng_split_reproducible;
+          Alcotest.test_case "split_n pairwise different" `Quick
+            rng_split_n_pairwise_different;
           Alcotest.test_case "int bounds" `Quick rng_int_bounds;
           Alcotest.test_case "int rejects" `Quick rng_int_rejects_nonpositive;
           Alcotest.test_case "float range" `Quick rng_float_range;
