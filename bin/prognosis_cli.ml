@@ -58,25 +58,130 @@ let or_die = function
       prerr_endline ("error: " ^ msg);
       exit 1
 
-(* --- learn --- *)
+(* --- learn (and resume) --- *)
 
-let do_learn () protocol profile_name seed algorithm workers batch parallel
-    replicas dot_out save_out trace_out metrics_out =
+let or_die_load r = or_die (Result.map_error Persist.load_error_to_string r)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Ok
+        (Fun.protect
+           ~finally:(fun () -> close_in ic)
+           (fun () -> really_input_string ic (in_channel_length ic)))
+
+let algo_name = function Learn.Ttt_tree -> "ttt" | Learn.L_star -> "lstar"
+let algo_of_name = function "lstar" -> Learn.L_star | _ -> Learn.Ttt_tree
+
+let exec_of_flags ~workers ~batch ~parallel ~replicas =
   (* Any exec-related flag routes membership queries through the
      query-execution engine; plain invocations keep the historical
      sequential path. *)
-  let exec =
-    if workers > 1 || batch || parallel || replicas > 1 then
-      Some
-        {
-          Prognosis_exec.Engine.default with
-          Prognosis_exec.Engine.workers;
-          batch;
-          parallel;
-          replicas;
-        }
-    else None
+  if workers > 1 || batch || parallel || replicas > 1 then
+    Some
+      {
+        Prognosis_exec.Engine.default with
+        Prognosis_exec.Engine.workers;
+        batch;
+        parallel;
+        replicas;
+      }
+  else None
+
+(* The checkpoint directory carries a manifest describing the run it
+   belongs to, so `prognosis resume` needs nothing but the directory:
+   the protocol, profile, seed and exec flags all come back from it. *)
+
+type manifest = {
+  m_protocol : [ `Tcp | `Quic | `Dtls ];
+  m_profile : string;
+  m_seed : int64;
+  m_algorithm : Learn.algorithm;
+  m_workers : int;
+  m_batch : bool;
+  m_parallel : bool;
+  m_replicas : int;
+  m_every : int;
+}
+
+let manifest_path dir = Filename.concat dir "manifest.json"
+
+let write_manifest ~dir m =
+  let module J = Prognosis_obs.Jsonx in
+  let proto =
+    match m.m_protocol with `Tcp -> "tcp" | `Quic -> "quic" | `Dtls -> "dtls"
   in
+  let json =
+    J.Obj
+      [
+        ("schema", J.String "prognosis.checkpoint-manifest/1");
+        ("protocol", J.String proto);
+        ("profile", J.String m.m_profile);
+        ("seed", J.String (Int64.to_string m.m_seed));
+        ("algorithm", J.String (algo_name m.m_algorithm));
+        ("workers", J.Int m.m_workers);
+        ("batch", J.Bool m.m_batch);
+        ("parallel", J.Bool m.m_parallel);
+        ("replicas", J.Int m.m_replicas);
+        ("every", J.Int m.m_every);
+      ]
+  in
+  mkdir_p dir;
+  let path = manifest_path dir in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Sys.rename tmp path
+
+let read_manifest dir =
+  let module J = Prognosis_obs.Jsonx in
+  let path = manifest_path dir in
+  match read_file path with
+  | Error msg -> Error ("no checkpoint manifest: " ^ msg)
+  | Ok text -> (
+      match J.of_string_opt text with
+      | None -> Error (path ^ ": malformed manifest")
+      | Some j -> (
+          let str k = Option.bind (J.member k j) J.to_string_opt in
+          let num k = Option.bind (J.member k j) J.to_int_opt in
+          let flag k = match J.member k j with Some (J.Bool b) -> b | _ -> false in
+          let protocol =
+            match str "protocol" with
+            | Some "tcp" -> Ok `Tcp
+            | Some "quic" -> Ok `Quic
+            | Some "dtls" -> Ok `Dtls
+            | Some p -> Error (path ^ ": unknown protocol " ^ p)
+            | None -> Error (path ^ ": missing protocol")
+          in
+          match (protocol, Option.bind (str "seed") Int64.of_string_opt) with
+          | Error e, _ -> Error e
+          | Ok _, None -> Error (path ^ ": missing or malformed seed")
+          | Ok m_protocol, Some m_seed ->
+              Ok
+                {
+                  m_protocol;
+                  m_profile = Option.value ~default:"quiche-like" (str "profile");
+                  m_seed;
+                  m_algorithm =
+                    algo_of_name (Option.value ~default:"ttt" (str "algorithm"));
+                  m_workers = Option.value ~default:1 (num "workers");
+                  m_batch = flag "batch";
+                  m_parallel = flag "parallel";
+                  m_replicas = Option.value ~default:1 (num "replicas");
+                  m_every = Option.value ~default:500 (num "every");
+                }))
+
+let run_learn ~protocol ~profile_name ~seed ~algorithm ~exec ~checkpoint
+    ~dot_out ~save_out ~text_out ~trace_out ~metrics_out =
   (* Telemetry: zero the process-wide registry so the metrics snapshot
      describes exactly this run, and tee spans into a JSONL file when
      asked (docs/OBSERVABILITY.md documents both formats). *)
@@ -86,43 +191,64 @@ let do_learn () protocol profile_name seed algorithm workers batch parallel
   | Some path -> (
       try Prognosis_obs.Trace.set_sink (Prognosis_obs.Trace.Sink.jsonl_file path)
       with Sys_error msg -> or_die (Error ("cannot open trace file: " ^ msg))));
-  let finally () =
-    if trace_out <> None then Prognosis_obs.Trace.unset_sink ()
+  let report, dot, save, save_text =
+    Fun.protect
+      ~finally:(fun () ->
+        if trace_out <> None then Prognosis_obs.Trace.unset_sink ())
+      (fun () ->
+        try
+          match protocol with
+          | `Tcp ->
+              let module A = Prognosis_tcp.Tcp_alphabet in
+              let r = Tcp_study.learn ~seed ~algorithm ?exec ?checkpoint () in
+              ( r.Tcp_study.report,
+                Tcp_study.model_dot r.Tcp_study.model,
+                (fun path ->
+                  Persist.save ~path Persist.Tcp_model r.Tcp_study.model),
+                fun path ->
+                  Persist.save_text ~path Persist.Tcp_model
+                    ~input_to_string:A.to_string
+                    ~output_to_string:A.output_to_string r.Tcp_study.model )
+          | `Quic ->
+              let module A = Prognosis_quic.Quic_alphabet in
+              let profile = or_die (profile_of_name profile_name) in
+              let r =
+                Quic_study.learn ~seed ~algorithm ?exec ?checkpoint ~profile ()
+              in
+              ( r.Quic_study.report,
+                Quic_study.model_dot r.Quic_study.model,
+                (fun path ->
+                  Persist.save ~path Persist.Quic_model r.Quic_study.model),
+                fun path ->
+                  Persist.save_text ~path Persist.Quic_model
+                    ~input_to_string:A.to_string
+                    ~output_to_string:A.output_to_string r.Quic_study.model )
+          | `Dtls ->
+              let module A = Prognosis_dtls.Dtls_alphabet in
+              let r = Dtls_study.learn ~seed ~algorithm ?exec ?checkpoint () in
+              ( r.Dtls_study.report,
+                Dtls_study.model_dot r.Dtls_study.model,
+                (fun path ->
+                  Persist.save ~path Persist.Dtls_model r.Dtls_study.model),
+                fun path ->
+                  Persist.save_text ~path Persist.Dtls_model
+                    ~input_to_string:A.to_string
+                    ~output_to_string:A.output_to_string r.Dtls_study.model )
+        with
+        | Invalid_argument msg
+          when String.length msg >= 5 && String.sub msg 0 5 = "Cache" ->
+            or_die
+              (Error
+                 ("the implementation answered the same query differently \
+                   across runs — learning pauses, as in the paper's \
+                   nondeterminism check (§5). Investigate with `prognosis \
+                   nondet`. Detail: " ^ msg))
+        | Prognosis_sul.Nondet.Nondeterministic_sul msg ->
+            or_die
+              (Error
+                 ("nondeterministic implementation: " ^ msg
+                ^ ". Investigate with `prognosis nondet`.")))
   in
-  let report, dot, save =
-    try
-      match protocol with
-    | `Tcp ->
-        let r = Tcp_study.learn ~seed ~algorithm ?exec () in
-        ( r.Tcp_study.report,
-          Tcp_study.model_dot r.Tcp_study.model,
-          fun path -> Persist.save ~path Persist.Tcp_model r.Tcp_study.model )
-    | `Quic ->
-        let profile = or_die (profile_of_name profile_name) in
-        let r = Quic_study.learn ~seed ~algorithm ?exec ~profile () in
-        ( r.Quic_study.report,
-          Quic_study.model_dot r.Quic_study.model,
-          fun path -> Persist.save ~path Persist.Quic_model r.Quic_study.model )
-    | `Dtls ->
-        let r = Dtls_study.learn ~seed ~algorithm ?exec () in
-        ( r.Dtls_study.report,
-          Dtls_study.model_dot r.Dtls_study.model,
-          fun path -> Persist.save ~path Persist.Dtls_model r.Dtls_study.model )
-    with
-    | Invalid_argument msg when String.length msg >= 5 && String.sub msg 0 5 = "Cache"
-      ->
-        or_die
-          (Error
-             ("the implementation answered the same query differently across \
-               runs — learning pauses, as in the paper's nondeterminism check \
-               (§5). Investigate with `prognosis nondet`. Detail: " ^ msg))
-    | Prognosis_sul.Nondet.Nondeterministic_sul msg ->
-        or_die
-          (Error
-             ("nondeterministic implementation: " ^ msg
-            ^ ". Investigate with `prognosis nondet`."))
-  in
-  finally ();
   Format.printf "%a@." Report.pp report;
   Format.printf "traces of length <= 10 over this alphabet: %d@."
     (Report.trace_count report ~max_len:10);
@@ -162,15 +288,93 @@ let do_learn () protocol profile_name seed algorithm workers batch parallel
   | Some path ->
       Prognosis_analysis.Visualize.write_file ~path dot;
       Format.printf "model written to %s@." path);
-  match save_out with
+  (match save_out with
   | None -> ()
   | Some path ->
       save path;
-      Format.printf "model saved to %s (reload with `prognosis replay`)@." path
+      Format.printf "model saved to %s (reload with `prognosis replay`)@." path);
+  match text_out with
+  | None -> ()
+  | Some path ->
+      save_text path;
+      Format.printf "canonical model written to %s@." path
+
+let do_learn () protocol profile_name seed algorithm workers batch parallel
+    replicas dot_out save_out text_out trace_out metrics_out checkpoint_dir
+    checkpoint_every query_budget resume =
+  let exec = exec_of_flags ~workers ~batch ~parallel ~replicas in
+  if Option.is_some query_budget && Option.is_none checkpoint_dir then
+    or_die (Error "--query-budget needs --checkpoint DIR");
+  if resume && Option.is_none checkpoint_dir then
+    or_die (Error "--resume needs --checkpoint DIR");
+  let checkpoint =
+    Option.map
+      (fun dir ->
+        Prognosis_learner.Checkpoint.spec ~every:checkpoint_every
+          ?budget:query_budget ~resume ~dir ())
+      checkpoint_dir
+  in
+  Option.iter
+    (fun dir ->
+      write_manifest ~dir
+        {
+          m_protocol = protocol;
+          m_profile = profile_name;
+          m_seed = seed;
+          m_algorithm = algorithm;
+          m_workers = workers;
+          m_batch = batch;
+          m_parallel = parallel;
+          m_replicas = replicas;
+          m_every = checkpoint_every;
+        })
+    checkpoint_dir;
+  match
+    run_learn ~protocol ~profile_name ~seed ~algorithm ~exec ~checkpoint
+      ~dot_out ~save_out ~text_out ~trace_out ~metrics_out
+  with
+  | () -> ()
+  | exception Prognosis_learner.Checkpoint.Budget_exhausted { queries; path } ->
+      Format.eprintf "interrupted: query budget reached after %d SUL queries@."
+        queries;
+      Format.eprintf "checkpoint saved to %s@." path;
+      Format.eprintf "resume with: prognosis resume --checkpoint %s@."
+        (Option.value ~default:(Filename.dirname path) checkpoint_dir);
+      exit 3
 
 let save_out =
   let doc = "Persist the learned model to $(docv) for later replay." in
   Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+
+let text_out =
+  let doc =
+    "Write the canonical $(b,prognosis.model/1) text serialization of the \
+     learned model to $(docv) (portable, diffable; the format the golden \
+     regression gate compares)."
+  in
+  Arg.(value & opt (some string) None & info [ "save-text" ] ~docv:"FILE" ~doc)
+
+let checkpoint_dir_arg =
+  let doc =
+    "Snapshot the run's query cache into $(docv) so a crashed or aborted run \
+     can be resumed (see `prognosis resume`)."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR" ~doc)
+
+let checkpoint_every_arg =
+  let doc = "SUL queries between periodic checkpoint snapshots." in
+  Arg.(value & opt int 500 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+
+let query_budget_arg =
+  let doc =
+    "Abort the run (exit 3) after $(docv) cumulative SUL queries, snapshotting \
+     first — a controlled crash for testing resume. Needs --checkpoint."
+  in
+  Arg.(value & opt (some int) None & info [ "query-budget" ] ~docv:"N" ~doc)
+
+let resume_flag =
+  let doc = "Pre-warm the query cache from the checkpoint before learning." in
+  Arg.(value & flag & info [ "resume" ] ~doc)
 
 let trace_out =
   let doc =
@@ -224,7 +428,56 @@ let learn_cmd =
     Term.(
       const do_learn $ verbose $ protocol $ profile_arg $ seed $ algorithm
       $ workers_arg $ batch_arg $ parallel_arg $ replicas_arg $ dot_out
-      $ save_out $ trace_out $ metrics_out)
+      $ save_out $ text_out $ trace_out $ metrics_out $ checkpoint_dir_arg
+      $ checkpoint_every_arg $ query_budget_arg $ resume_flag)
+
+(* --- resume --- *)
+
+let do_resume () dir query_budget dot_out save_out text_out trace_out
+    metrics_out =
+  let m = or_die (read_manifest dir) in
+  let exec =
+    exec_of_flags ~workers:m.m_workers ~batch:m.m_batch ~parallel:m.m_parallel
+      ~replicas:m.m_replicas
+  in
+  let checkpoint =
+    Some
+      (Prognosis_learner.Checkpoint.spec ~every:m.m_every ?budget:query_budget
+         ~resume:true ~dir ())
+  in
+  match
+    run_learn ~protocol:m.m_protocol ~profile_name:m.m_profile ~seed:m.m_seed
+      ~algorithm:m.m_algorithm ~exec ~checkpoint ~dot_out ~save_out ~text_out
+      ~trace_out ~metrics_out
+  with
+  | () -> ()
+  | exception Prognosis_learner.Checkpoint.Budget_exhausted { queries; path } ->
+      Format.eprintf "interrupted: query budget reached after %d SUL queries@."
+        queries;
+      Format.eprintf "checkpoint saved to %s@." path;
+      Format.eprintf "resume with: prognosis resume --checkpoint %s@." dir;
+      exit 3
+
+let resume_cmd =
+  let doc =
+    "Resume an interrupted learning run from its checkpoint directory. The \
+     protocol, profile, seed and exec flags are read back from the \
+     directory's manifest; the query cache is pre-warmed from the last \
+     snapshot, so every pre-crash query is answered without touching the \
+     implementation."
+  in
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"DIR"
+          ~doc:"Checkpoint directory from `learn --checkpoint`.")
+  in
+  Cmd.v
+    (Cmd.info "resume" ~doc)
+    Term.(
+      const do_resume $ verbose $ dir $ query_budget_arg $ dot_out $ save_out
+      $ text_out $ trace_out $ metrics_out)
 
 (* --- compare --- *)
 
@@ -503,7 +756,7 @@ let do_replay () protocol model_path word =
   if tokens = [] then or_die (Error "empty word; pass --word \"SYM SYM ...\"");
   match protocol with
   | `Tcp ->
-      let model = or_die (Persist.load_tcp ~path:model_path) in
+      let model = or_die_load (Persist.load_tcp ~path:model_path) in
       let module A = Prognosis_tcp.Tcp_alphabet in
       let input = parse_word A.all A.to_string tokens in
       List.iter2
@@ -511,7 +764,7 @@ let do_replay () protocol model_path word =
           Format.printf "%-28s -> %s@." (A.to_string i) (A.output_to_string o))
         input (Mealy.run model input)
   | `Quic ->
-      let model = or_die (Persist.load_quic ~path:model_path) in
+      let model = or_die_load (Persist.load_quic ~path:model_path) in
       let module A = Prognosis_quic.Quic_alphabet in
       let input = parse_word A.extended A.to_string tokens in
       List.iter2
@@ -519,7 +772,7 @@ let do_replay () protocol model_path word =
           Format.printf "%-42s -> %s@." (A.to_string i) (A.output_to_string o))
         input (Mealy.run model input)
   | `Dtls ->
-      let model = or_die (Persist.load_dtls ~path:model_path) in
+      let model = or_die_load (Persist.load_dtls ~path:model_path) in
       let module A = Prognosis_dtls.Dtls_alphabet in
       let input = parse_word A.all A.to_string tokens in
       List.iter2
@@ -544,13 +797,170 @@ let replay_cmd =
     (Cmd.info "replay" ~doc)
     Term.(const do_replay $ verbose $ protocol $ model_path $ word)
 
+(* --- ci: the golden-model regression gate --- *)
+
+(* Each target learns one study model and renders it to the string
+   alphabet, so the gate below works uniformly on (string, string)
+   machines whatever the protocol. *)
+let ci_targets seed =
+  [
+    ( "tcp",
+      Persist.Tcp_model,
+      "tcp.model",
+      fun () ->
+        let module A = Prognosis_tcp.Tcp_alphabet in
+        Persist.to_string_model ~input_to_string:A.to_string
+          ~output_to_string:A.output_to_string
+          (Tcp_study.learn ~seed ()).Tcp_study.model );
+    ( "quic:quiche-like",
+      Persist.Quic_model,
+      "quic-quiche-like.model",
+      fun () ->
+        let module A = Prognosis_quic.Quic_alphabet in
+        Persist.to_string_model ~input_to_string:A.to_string
+          ~output_to_string:A.output_to_string
+          (Quic_study.learn ~seed
+             ~profile:Prognosis_quic.Quic_profile.quiche_like ())
+            .Quic_study.model );
+    ( "dtls",
+      Persist.Dtls_model,
+      "dtls.model",
+      fun () ->
+        let module A = Prognosis_dtls.Dtls_alphabet in
+        Persist.to_string_model ~input_to_string:A.to_string
+          ~output_to_string:A.output_to_string
+          (Dtls_study.learn ~seed ()).Dtls_study.model );
+  ]
+
+let do_ci () golden_dir seed update summary_out =
+  let summary = Buffer.create 256 in
+  let sline fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string summary s;
+        Buffer.add_char summary '\n')
+      fmt
+  in
+  sline "### prognosis golden-model gate (seed %Ld)" seed;
+  let drift = ref false in
+  List.iter
+    (fun (name, kind, file, learn) ->
+      let path = Filename.concat golden_dir file in
+      let model = learn () in
+      let text =
+        Persist.text_of_model ~kind ~input_to_string:Fun.id
+          ~output_to_string:Fun.id model
+      in
+      if update then begin
+        mkdir_p golden_dir;
+        Persist.save_text ~path kind ~input_to_string:Fun.id
+          ~output_to_string:Fun.id model;
+        Format.printf "[golden] %-18s -> %s@." name path;
+        sline "- `%s`: golden refreshed at `%s`" name path
+      end
+      else
+        match read_file path with
+        | Error msg ->
+            drift := true;
+            Format.printf
+              "[FAIL] %-18s missing golden: %s (generate with `prognosis ci \
+               --update-golden`)@."
+              name msg;
+            sline "- `%s`: **missing golden** (%s)" name msg
+        | Ok golden_text ->
+            if String.equal text golden_text then begin
+              Format.printf "[ok]   %-18s matches %s@." name path;
+              sline "- `%s`: matches golden" name
+            end
+            else begin
+              drift := true;
+              Format.printf "[FAIL] %-18s drifted from %s@." name path;
+              sline "- `%s`: **drifted** from `%s`" name path;
+              match Persist.parse_text ~path kind golden_text with
+              | Error e ->
+                  let msg = Persist.load_error_to_string e in
+                  Format.printf "       golden unreadable: %s@." msg;
+                  sline "  - golden unreadable: %s" msg
+              | Ok golden_m -> (
+                  let module D = Prognosis_analysis.Model_diff in
+                  let canon = Mealy.canonicalize (Mealy.minimize model) in
+                  match D.first_difference canon golden_m with
+                  | exception Invalid_argument _ ->
+                      Format.printf
+                        "       input alphabet changed — refresh the golden \
+                         deliberately@.";
+                      sline "  - input alphabet changed"
+                  | None ->
+                      Format.printf
+                        "       models are equivalent; the serialization \
+                         itself drifted (format change?)@.";
+                      sline "  - equivalent models, serialization drift"
+                  | Some w ->
+                      let word = String.concat " " w.D.word in
+                      Format.printf "       distinguishing word: %s@." word;
+                      Format.printf "         learned: %s@."
+                        (String.concat " " w.D.outputs_a);
+                      Format.printf "         golden : %s@."
+                        (String.concat " " w.D.outputs_b);
+                      sline "  - distinguishing word: `%s`" word;
+                      sline "    - learned: `%s`"
+                        (String.concat " " w.D.outputs_a);
+                      sline "    - golden: `%s`"
+                        (String.concat " " w.D.outputs_b))
+            end)
+    (ci_targets seed);
+  (match summary_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+      Buffer.output_buffer oc summary;
+      close_out oc);
+  if update then Format.printf "goldens updated under %s@." golden_dir
+  else if !drift then begin
+    Format.printf "golden gate: DRIFT@.";
+    exit 1
+  end
+  else Format.printf "golden gate: ok@."
+
+let ci_cmd =
+  let doc =
+    "The golden-model regression gate: learn the TCP, QUIC and DTLS study \
+     models, canonicalize them ($(b,prognosis.model/1)) and byte-compare \
+     against the checked-in goldens. Exits non-zero on drift, printing the \
+     shortest distinguishing input word with both models' outputs."
+  in
+  let golden_dir =
+    Arg.(
+      value
+      & opt string "examples/golden"
+      & info [ "golden" ] ~docv:"DIR" ~doc:"Directory holding golden models.")
+  in
+  let update =
+    Arg.(
+      value & flag
+      & info [ "update-golden" ]
+          ~doc:"Regenerate the goldens from the current code instead of gating.")
+  in
+  let summary_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary" ] ~docv:"FILE"
+          ~doc:
+            "Append a Markdown summary of the gate to $(docv) (pass \
+             \\$GITHUB_STEP_SUMMARY in CI).")
+  in
+  Cmd.v
+    (Cmd.info "ci" ~doc)
+    Term.(const do_ci $ verbose $ golden_dir $ seed $ update $ summary_out)
+
 let main =
   let doc = "closed-box learning and analysis of protocol implementations" in
   Cmd.group
     (Cmd.info "prognosis" ~version:"1.0.0" ~doc)
     [
-      learn_cmd; compare_cmd; nondet_cmd; synthesize_cmd; check_cmd; difftest_cmd;
-      render_cmd; replay_cmd;
+      learn_cmd; resume_cmd; ci_cmd; compare_cmd; nondet_cmd; synthesize_cmd;
+      check_cmd; difftest_cmd; render_cmd; replay_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -170,6 +170,42 @@ let minimize m =
     make ~size:!blocks ~initial:block.(m.initial) ~inputs:m.inputs ~delta ~lambda
   end
 
+(* BFS renumbering: states are numbered in the order breadth-first
+   search from the initial state discovers them, exploring inputs in
+   alphabet order; unreachable states are dropped. Isomorphic machines
+   over the same alphabet therefore produce structurally equal
+   delta/lambda matrices — the property the canonical textual model
+   format relies on for byte-identical serialization. *)
+let canonicalize m =
+  let n = Array.length m.inputs in
+  let order = Array.make m.size (-1) in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  order.(m.initial) <- !count;
+  incr count;
+  Queue.add m.initial queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    for i = 0 to n - 1 do
+      let s' = m.delta.(s).(i) in
+      if order.(s') < 0 then begin
+        order.(s') <- !count;
+        incr count;
+        Queue.add s' queue
+      end
+    done
+  done;
+  let size = !count in
+  let rep = Array.make size 0 in
+  for s = 0 to m.size - 1 do
+    if order.(s) >= 0 then rep.(order.(s)) <- s
+  done;
+  let delta =
+    Array.init size (fun q -> Array.init n (fun i -> order.(m.delta.(rep.(q)).(i))))
+  in
+  let lambda = Array.init size (fun q -> Array.copy m.lambda.(rep.(q))) in
+  make ~size ~initial:0 ~inputs:m.inputs ~delta ~lambda
+
 let same_alphabet a b =
   Array.length a.inputs = Array.length b.inputs
   && Array.for_all2 (fun x y -> x = y) a.inputs b.inputs

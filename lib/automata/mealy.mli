@@ -65,6 +65,16 @@ val minimize : ('i, 'o) t -> ('i, 'o) t
 (** Canonical minimal machine (Moore-style partition refinement),
     restricted to reachable states. *)
 
+val canonicalize : ('i, 'o) t -> ('i, 'o) t
+(** BFS state renumbering: states are renumbered in breadth-first
+    discovery order from the initial state (inputs explored in alphabet
+    order), unreachable states dropped, so the initial state is 0.
+    Isomorphic machines over the same alphabet canonicalize to
+    structurally equal machines; compose with {!minimize} to map every
+    machine of an equivalence class to one literal representative
+    ([canonicalize (minimize m)]) — the normal form behind the
+    byte-identical [prognosis.model/1] serialization. *)
+
 val equivalent : ('i, 'o) t -> ('i, 'o) t -> 'i list option
 (** [equivalent a b] is [None] when the machines have the same
     input/output behaviour, or [Some w] with [w] a shortest-by-BFS input

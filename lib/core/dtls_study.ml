@@ -2,6 +2,7 @@ module Rng = Prognosis_sul.Rng
 module Adapter = Prognosis_sul.Adapter
 module Learn = Prognosis_learner.Learn
 module Eq_oracle = Prognosis_learner.Eq_oracle
+module Checkpoint = Prognosis_learner.Checkpoint
 module Alphabet = Prognosis_dtls.Dtls_alphabet
 
 type model = (Alphabet.symbol, Alphabet.output) Prognosis_automata.Mealy.t
@@ -39,7 +40,8 @@ let scenarios =
       [ Client_hello; Client_key_exchange; Change_cipher_spec; Finished; App_data ];
     ]
 
-let learn ?(seed = 1L) ?(algorithm = Learn.Ttt_tree) ?server_config ?exec () =
+let learn ?(seed = 1L) ?(algorithm = Learn.Ttt_tree) ?server_config ?exec
+    ?checkpoint () =
   let adapter, client = Prognosis_dtls.Dtls_adapter.create ?server_config ~seed () in
   let rng = Rng.create (Int64.add seed 7L) in
   let eq =
@@ -50,11 +52,12 @@ let learn ?(seed = 1L) ?(algorithm = Learn.Ttt_tree) ?server_config ?exec () =
         Eq_oracle.random_words ~rng ~max_tests:400 ~min_len:1 ~max_len:10;
       ]
   in
+  let ck = Option.map (Checkpoint.start ~kind:"dtls") checkpoint in
   let result, exec_json =
     match exec with
     | None ->
         let sul = Adapter.to_sul adapter in
-        (Learn.run ~algorithm ~inputs:Alphabet.all ~sul ~eq (), None)
+        (Learn.run ~algorithm ?checkpoint:ck ~inputs:Alphabet.all ~sul ~eq (), None)
     | Some config ->
         let module Engine = Prognosis_exec.Engine in
         let master = Rng.create seed in
@@ -64,9 +67,18 @@ let learn ?(seed = 1L) ?(algorithm = Learn.Ttt_tree) ?server_config ?exec () =
         let factory i =
           Prognosis_dtls.Dtls_adapter.sul ?server_config ~seed:wseeds.(i) ()
         in
-        let engine = Engine.create ~config ~factory () in
+        let engine =
+          Engine.create ~config ?cache:(Option.map Checkpoint.cache ck) ~factory ()
+        in
+        Option.iter
+          (fun ck ->
+            (match Checkpoint.exec_blob ck with
+            | Some blob -> ( try Engine.thaw engine blob with Invalid_argument _ -> ())
+            | None -> ());
+            Checkpoint.set_exec_state ck (fun () -> Engine.freeze engine))
+          ck;
         let r =
-          Learn.run_mq ~algorithm
+          Learn.run_mq ~algorithm ?checkpoint:ck
             ~cache_stats:(fun () -> Engine.cache_stats engine)
             ~inputs:Alphabet.all
             ~mq:(Engine.membership engine)

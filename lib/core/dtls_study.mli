@@ -25,9 +25,12 @@ val learn :
   ?algorithm:Prognosis_learner.Learn.algorithm ->
   ?server_config:Prognosis_dtls.Dtls_server.config ->
   ?exec:Prognosis_exec.Engine.config ->
+  ?checkpoint:Prognosis_learner.Checkpoint.spec ->
   unit ->
   result
 (** With [?exec], membership queries run through the query-execution
-    engine pool and the report carries an [exec] stats section. *)
+    engine pool and the report carries an [exec] stats section. With
+    [?checkpoint], the run snapshots and resumes per the spec; may
+    raise {!Prognosis_learner.Checkpoint.Budget_exhausted}. *)
 
 val model_dot : model -> string

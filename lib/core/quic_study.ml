@@ -6,6 +6,7 @@ module Nondet = Prognosis_sul.Nondet
 module Sul = Prognosis_sul.Sul
 module Learn = Prognosis_learner.Learn
 module Eq_oracle = Prognosis_learner.Eq_oracle
+module Checkpoint = Prognosis_learner.Checkpoint
 module Ext_mealy = Prognosis_synthesis.Ext_mealy
 module Synthesizer = Prognosis_synthesis.Synthesizer
 module Term = Prognosis_synthesis.Term
@@ -27,7 +28,7 @@ type result = {
 let algorithm_name = function Learn.L_star -> "L*" | Learn.Ttt_tree -> "TTT"
 
 let learn ?(seed = 1L) ?(algorithm = Learn.Ttt_tree) ?(alphabet = Alphabet.all)
-    ?client_config ?exec ~profile () =
+    ?client_config ?exec ?checkpoint ~profile () =
   let adapter, client = Quic_adapter.create ~profile ?client_config ~seed () in
   let rng = Rng.create (Int64.add seed 7L) in
   let eq =
@@ -37,11 +38,16 @@ let learn ?(seed = 1L) ?(algorithm = Learn.Ttt_tree) ?(alphabet = Alphabet.all)
         Eq_oracle.random_words ~rng ~max_tests:400 ~min_len:1 ~max_len:10;
       ]
   in
+  let ck =
+    Option.map
+      (Checkpoint.start ~kind:("quic-" ^ profile.Profile.name))
+      checkpoint
+  in
   let result, exec_json =
     match exec with
     | None ->
         let sul = Adapter.to_sul adapter in
-        (Learn.run ~algorithm ~inputs:alphabet ~sul ~eq (), None)
+        (Learn.run ~algorithm ?checkpoint:ck ~inputs:alphabet ~sul ~eq (), None)
     | Some config ->
         let module Engine = Prognosis_exec.Engine in
         let master = Rng.create seed in
@@ -51,9 +57,18 @@ let learn ?(seed = 1L) ?(algorithm = Learn.Ttt_tree) ?(alphabet = Alphabet.all)
         let factory i =
           Quic_adapter.sul ~profile ?client_config ~seed:wseeds.(i) ()
         in
-        let engine = Engine.create ~config ~factory () in
+        let engine =
+          Engine.create ~config ?cache:(Option.map Checkpoint.cache ck) ~factory ()
+        in
+        Option.iter
+          (fun ck ->
+            (match Checkpoint.exec_blob ck with
+            | Some blob -> ( try Engine.thaw engine blob with Invalid_argument _ -> ())
+            | None -> ());
+            Checkpoint.set_exec_state ck (fun () -> Engine.freeze engine))
+          ck;
         let r =
-          Learn.run_mq ~algorithm
+          Learn.run_mq ~algorithm ?checkpoint:ck
             ~cache_stats:(fun () -> Engine.cache_stats engine)
             ~inputs:alphabet
             ~mq:(Engine.membership engine)

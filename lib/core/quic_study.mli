@@ -25,6 +25,7 @@ val learn :
   ?alphabet:Alphabet.symbol array ->
   ?client_config:Prognosis_quic.Quic_client.config ->
   ?exec:Prognosis_exec.Engine.config ->
+  ?checkpoint:Prognosis_learner.Checkpoint.spec ->
   profile:Profile.t ->
   unit ->
   result
@@ -32,7 +33,11 @@ val learn :
     ({!Alphabet.all}); pass {!Alphabet.extended} for the nine-symbol
     variant used by the alphabet-size ablation. With [?exec],
     membership queries run through the query-execution engine pool
-    and the report carries an [exec] stats section. *)
+    and the report carries an [exec] stats section. With [?checkpoint],
+    the run snapshots and resumes per the spec (the checkpoint kind is
+    profile-qualified, so a snapshot made against one profile refuses
+    to resume another); may raise
+    {!Prognosis_learner.Checkpoint.Budget_exhausted}. *)
 
 val compare_profiles :
   ?seed:int64 ->

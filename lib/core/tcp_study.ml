@@ -4,6 +4,7 @@ module Adapter = Prognosis_sul.Adapter
 module Oracle_table = Prognosis_sul.Oracle_table
 module Learn = Prognosis_learner.Learn
 module Eq_oracle = Prognosis_learner.Eq_oracle
+module Checkpoint = Prognosis_learner.Checkpoint
 module Ext_mealy = Prognosis_synthesis.Ext_mealy
 module Synthesizer = Prognosis_synthesis.Synthesizer
 module Wire = Prognosis_tcp.Tcp_wire
@@ -28,17 +29,21 @@ let eq_oracle ~seed =
       Eq_oracle.random_words ~rng ~max_tests:500 ~min_len:1 ~max_len:12;
     ]
 
-let learn ?(seed = 1L) ?(algorithm = Learn.Ttt_tree) ?server_config ?exec () =
+let ckpt_kind = "tcp"
+
+let learn ?(seed = 1L) ?(algorithm = Learn.Ttt_tree) ?server_config ?exec
+    ?checkpoint () =
   (* The adapter kept in the result records the Oracle Table for
      synthesis; with an engine the pool workers are separate instances
      and witness queries replay through this one. *)
   let adapter = Tcp_adapter.create ?server_config ~seed () in
   let eq = eq_oracle ~seed in
+  let ck = Option.map (Checkpoint.start ~kind:ckpt_kind) checkpoint in
   let result, exec_json =
     match exec with
     | None ->
         let sul = Adapter.to_sul adapter in
-        (Learn.run ~algorithm ~inputs:Alphabet.all ~sul ~eq (), None)
+        (Learn.run ~algorithm ?checkpoint:ck ~inputs:Alphabet.all ~sul ~eq (), None)
     | Some config ->
         let module Engine = Prognosis_exec.Engine in
         let master = Rng.create seed in
@@ -47,9 +52,21 @@ let learn ?(seed = 1L) ?(algorithm = Learn.Ttt_tree) ?server_config ?exec () =
             (Rng.split_n master config.Engine.workers)
         in
         let factory i = Tcp_adapter.sul ?server_config ~seed:wseeds.(i) () in
-        let engine = Engine.create ~config ~factory () in
+        let engine =
+          Engine.create ~config ?cache:(Option.map Checkpoint.cache ck) ~factory ()
+        in
+        Option.iter
+          (fun ck ->
+            (* A thaw failure only loses advisory robustness bookkeeping
+               (a resumed run with a resized pool starts its strike
+               counters fresh); the query cache is what matters. *)
+            (match Checkpoint.exec_blob ck with
+            | Some blob -> ( try Engine.thaw engine blob with Invalid_argument _ -> ())
+            | None -> ());
+            Checkpoint.set_exec_state ck (fun () -> Engine.freeze engine))
+          ck;
         let r =
-          Learn.run_mq ~algorithm
+          Learn.run_mq ~algorithm ?checkpoint:ck
             ~cache_stats:(fun () -> Engine.cache_stats engine)
             ~inputs:Alphabet.all
             ~mq:(Engine.membership engine)

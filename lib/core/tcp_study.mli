@@ -23,6 +23,7 @@ val learn :
   ?algorithm:Prognosis_learner.Learn.algorithm ->
   ?server_config:Prognosis_tcp.Tcp_server.config ->
   ?exec:Prognosis_exec.Engine.config ->
+  ?checkpoint:Prognosis_learner.Checkpoint.spec ->
   unit ->
   result
 (** Learns through a W-method + random-word equivalence oracle. With
@@ -30,7 +31,12 @@ val learn :
     ({!Prognosis_exec.Engine}): a pool of [exec.workers] independent
     adapters (seeds derived by {!Prognosis_sul.Rng.split_n}), batched
     and prefix-sharing; the report then carries an [exec] stats
-    section. *)
+    section. With [?checkpoint], the run snapshots its query cache (and
+    the engine's robustness bookkeeping) into the spec's directory and,
+    when the spec says [resume], restarts from the last snapshot — see
+    {!Prognosis_learner.Checkpoint}. May raise
+    {!Prognosis_learner.Checkpoint.Budget_exhausted} when the spec
+    carries a query budget. *)
 
 val input_field_names : string array
 (** [seq; ack; len] — the concrete fields synthesis ranges over. *)

@@ -97,7 +97,7 @@ let m_quarantines = Metrics.counter Metrics.default "exec.quarantines"
 let g_workers = Metrics.gauge Metrics.default "exec.workers"
 let g_utilization = Metrics.gauge Metrics.default "exec.worker_utilization"
 
-let create ?(config = default) ~factory () =
+let create ?(config = default) ?cache ~factory () =
   if config.workers < 1 then invalid_arg "Engine.create: workers must be >= 1";
   if config.replicas < 1 then
     invalid_arg "Engine.create: replicas must be >= 1";
@@ -118,12 +118,60 @@ let create ?(config = default) ~factory () =
   {
     config;
     workers;
-    cache = Cache.create ();
+    cache = (match cache with Some c -> c | None -> Cache.create ());
     stats = fresh_stats ();
     oracle_stats = Oracle.fresh_stats ();
     clock = 0;
     rr = 0;
   }
+
+(* --- checkpointable pool state ---
+
+   What survives a crash is the robustness bookkeeping: which workers
+   were striking out or quarantined, and where the run/cooldown clock
+   stood. Worker resume positions are deliberately dropped — a thawed
+   pool's SUL instances start from reset, so a remembered position
+   would be a lie. The blob is opaque to callers ({!Checkpoint} stores
+   it verbatim). *)
+
+type frozen = {
+  f_workers : int;
+  f_state : (int * int * int) array; (* runs_done, strikes, quarantined_until *)
+  f_clock : int;
+  f_rr : int;
+}
+
+let freeze t =
+  Marshal.to_string
+    {
+      f_workers = t.config.workers;
+      f_state =
+        Array.map (fun w -> (w.runs_done, w.strikes, w.quarantined_until)) t.workers;
+      f_clock = t.clock;
+      f_rr = t.rr;
+    }
+    []
+
+let thaw t blob =
+  match (Marshal.from_string blob 0 : frozen) with
+  | exception _ -> invalid_arg "Engine.thaw: unreadable state blob"
+  | f ->
+      if f.f_workers <> t.config.workers then
+        invalid_arg
+          (Printf.sprintf
+             "Engine.thaw: pool size changed (checkpointed %d workers, pool \
+              has %d)"
+             f.f_workers t.config.workers);
+      Array.iteri
+        (fun i w ->
+          let runs_done, strikes, quarantined_until = f.f_state.(i) in
+          w.runs_done <- runs_done;
+          w.strikes <- strikes;
+          w.quarantined_until <- quarantined_until;
+          w.position <- None)
+        t.workers;
+      t.clock <- f.f_clock;
+      t.rr <- f.f_rr
 
 let active_workers t =
   let l = Array.to_list t.workers in

@@ -52,12 +52,31 @@ val default : config
 type ('i, 'o) t
 
 val create :
-  ?config:config -> factory:(int -> ('i, 'o) Prognosis_sul.Sul.t) -> unit -> ('i, 'o) t
+  ?config:config ->
+  ?cache:('i, 'o) Prognosis_learner.Cache.t ->
+  factory:(int -> ('i, 'o) Prognosis_sul.Sul.t) ->
+  unit ->
+  ('i, 'o) t
 (** [create ~factory ()] builds the pool; [factory i] must return an
     independent SUL instance for worker [i] (give each its own
     {!Prognosis_sul.Rng} stream — see {!Prognosis_sul.Rng.split}).
+    [?cache] substitutes an external query cache for the engine's
+    fresh one — a checkpoint session's pre-warmed cache
+    ({!Prognosis_learner.Checkpoint.cache}) turns a resumed run's
+    pre-crash queries into hits that never reach the pool.
     @raise Invalid_argument on a non-positive worker count or
     [replicas] outside [1, workers]. *)
+
+val freeze : ('i, 'o) t -> string
+(** Snapshot of the pool's robustness bookkeeping (per-worker run
+    counts, strikes, quarantines; run/cooldown clock) as an opaque
+    blob for {!Prognosis_learner.Checkpoint.set_exec_state}. Worker
+    resume positions are not captured: fresh SUL instances start from
+    reset. *)
+
+val thaw : ('i, 'o) t -> string -> unit
+(** Restore a {!freeze} blob into a pool of the same size.
+    @raise Invalid_argument on a foreign blob or a changed pool size. *)
 
 val membership : ('i, 'o) t -> ('i, 'o) Prognosis_learner.Oracle.membership
 (** The engine as a membership oracle. [ask] answers one word;

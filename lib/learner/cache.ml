@@ -79,6 +79,28 @@ let size t = t.nodes
 let hits t = t.hits
 let misses t = t.misses
 
+(* Maximal cached words: the trie's leaves. Every inserted word is a
+   prefix of some leaf word (insert fills outputs along the whole
+   path), so re-inserting the leaves rebuilds the trie exactly. *)
+let dump t =
+  let acc = ref [] in
+  let rec go node rev_in rev_out =
+    if Hashtbl.length node.children = 0 then begin
+      if rev_in <> [] then acc := (List.rev rev_in, List.rev rev_out) :: !acc
+    end
+    else
+      Hashtbl.iter
+        (fun x c ->
+          match c.output with
+          | Some o -> go c (x :: rev_in) (o :: rev_out)
+          | None -> ())
+        node.children
+  in
+  go t.root [] [];
+  !acc
+
+let restore t words = List.iter (fun (w, outs) -> insert t w outs) words
+
 let m_hits = Metrics.counter Metrics.default "cache.hits"
 let m_misses = Metrics.counter Metrics.default "cache.misses"
 let m_prefix_hits = Metrics.counter Metrics.default "cache.prefix_hits"

@@ -30,6 +30,15 @@ val size : ('i, 'o) t -> int
 val hits : ('i, 'o) t -> int
 val misses : ('i, 'o) t -> int
 
+val dump : ('i, 'o) t -> ('i list * 'o list) list
+(** The maximal cached words with their outputs — enough to rebuild the
+    whole trie with {!restore}, since every cached word is a prefix of
+    a maximal one. Order is unspecified. *)
+
+val restore : ('i, 'o) t -> ('i list * 'o list) list -> unit
+(** Re-inserts a {!dump}. Restored entries do not count as hits or
+    misses; conflicting outputs raise like {!insert}. *)
+
 val wrap : ('i, 'o) t -> ('i, 'o) Oracle.membership -> ('i, 'o) Oracle.membership
 (** Caching view of a membership oracle: only cache misses reach the
     underlying oracle (and are counted in its statistics). When a

@@ -20,10 +20,10 @@ let algorithm_label = function L_star -> "lstar" | Ttt_tree -> "ttt"
 
 let g_hit_rate = Metrics.gauge Metrics.default "learn.cache_hit_rate"
 
-let dispatch algorithm ?max_rounds ~inputs ~mq ~eq () =
+let dispatch algorithm ?max_rounds ?on_round ~inputs ~mq ~eq () =
   match algorithm with
-  | L_star -> Lstar.learn ?max_rounds ~inputs ~mq ~eq ()
-  | Ttt_tree -> Ttt.learn ?max_rounds ~inputs ~mq ~eq ()
+  | L_star -> Lstar.learn ?max_rounds ?on_round ~inputs ~mq ~eq ()
+  | Ttt_tree -> Ttt.learn ?max_rounds ?on_round ~inputs ~mq ~eq ()
 
 let log_result name (model : ('i, 'o) Prognosis_automata.Mealy.t) rounds
     (stats : Oracle.stats) =
@@ -52,11 +52,30 @@ let finish_span (r : ('i, 'o) result) =
   Trace.add_attr "cache_hits" (Jsonx.Int r.cache_hits);
   r
 
-let run_mq ?(algorithm = Ttt_tree) ?max_rounds ?cache_stats ~inputs ~mq ~eq ()
-    =
+(* With a checkpoint session the membership path gains the session's
+   snapshot-or-abort check after every answer, and round boundaries
+   flush pending material; [finish] leaves a snapshot of the completed
+   run behind (a post-success [resume] is then a pure cache replay). *)
+let ckpt_wrap checkpoint mq =
+  match checkpoint with Some ck -> Checkpoint.instrument ck mq | None -> mq
+
+let ckpt_on_round checkpoint =
+  Option.map (fun ck -> Checkpoint.on_round ck) checkpoint
+
+let ckpt_finish checkpoint = Option.iter Checkpoint.finish checkpoint
+
+let run_mq ?(algorithm = Ttt_tree) ?max_rounds ?cache_stats ?checkpoint ~inputs
+    ~mq ~eq () =
   let cached = Option.is_some cache_stats in
   learn_span ~algorithm ~subject:"mq" ~cache:cached (fun () ->
-      let model, rounds = dispatch algorithm ?max_rounds ~inputs ~mq ~eq () in
+      let model, rounds =
+        dispatch algorithm ?max_rounds
+          ?on_round:(ckpt_on_round checkpoint)
+          ~inputs
+          ~mq:(ckpt_wrap checkpoint mq)
+          ~eq ()
+      in
+      ckpt_finish checkpoint;
       log_result "run_mq" model rounds mq.Oracle.stats;
       let hits, misses =
         match cache_stats with Some f -> f () | None -> (0, 0)
@@ -73,14 +92,25 @@ let run_mq ?(algorithm = Ttt_tree) ?max_rounds ?cache_stats ~inputs ~mq ~eq ()
           cache_misses = misses;
         })
 
-let run ?(algorithm = Ttt_tree) ?max_rounds ?(cache = true) ~inputs ~sul ~eq () =
+let run ?(algorithm = Ttt_tree) ?max_rounds ?(cache = true) ?checkpoint ~inputs
+    ~sul ~eq () =
   let subject = sul.Prognosis_sul.Sul.description in
+  let cache = cache || Option.is_some checkpoint in
   learn_span ~algorithm ~subject ~cache (fun () ->
       let raw = Oracle.of_sul sul in
       if cache then begin
-        let c = Cache.create () in
-        let mq = Cache.wrap c raw in
-        let model, rounds = dispatch algorithm ?max_rounds ~inputs ~mq ~eq () in
+        let c =
+          match checkpoint with
+          | Some ck -> Checkpoint.cache ck
+          | None -> Cache.create ()
+        in
+        let mq = ckpt_wrap checkpoint (Cache.wrap c raw) in
+        let model, rounds =
+          dispatch algorithm ?max_rounds
+            ?on_round:(ckpt_on_round checkpoint)
+            ~inputs ~mq ~eq ()
+        in
+        ckpt_finish checkpoint;
         log_result subject model rounds raw.Oracle.stats;
         (* The cache is the single gate in front of the SUL: the raw
            oracle only ever answers cache misses, so the two counts

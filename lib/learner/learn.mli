@@ -18,6 +18,7 @@ val run :
   ?algorithm:algorithm ->
   ?max_rounds:int ->
   ?cache:bool ->
+  ?checkpoint:('i, 'o) Checkpoint.session ->
   inputs:'i array ->
   sul:('i, 'o) Prognosis_sul.Sul.t ->
   eq:('i, 'o) Oracle.equivalence ->
@@ -27,12 +28,19 @@ val run :
     Statistics count the queries that actually reached the SUL (cache
     hits are reported separately; with caching on, the driver checks
     [stats.membership_queries = cache_misses]). The whole run executes
-    inside a ["learn"] span when {!Prognosis_obs.Trace} has a sink. *)
+    inside a ["learn"] span when {!Prognosis_obs.Trace} has a sink.
+
+    With [?checkpoint], the session's (possibly pre-warmed) cache
+    replaces the fresh one (caching is forced on), the membership path
+    snapshots the run per the session's policy — and aborts it with
+    {!Checkpoint.Budget_exhausted} when a query budget is set — and a
+    final snapshot is written on success. *)
 
 val run_mq :
   ?algorithm:algorithm ->
   ?max_rounds:int ->
   ?cache_stats:(unit -> int * int) ->
+  ?checkpoint:('i, 'o) Checkpoint.session ->
   inputs:'i array ->
   mq:('i, 'o) Oracle.membership ->
   eq:('i, 'o) Oracle.equivalence ->
@@ -41,4 +49,7 @@ val run_mq :
 (** Variant taking a prebuilt membership oracle (no extra caching).
     When [mq] carries its own cache (the query-execution engine does),
     pass [cache_stats] returning its (hits, misses) so the result and
-    the [learn.cache_hit_rate] gauge reflect it. *)
+    the [learn.cache_hit_rate] gauge reflect it. With [?checkpoint],
+    [mq] must answer from the session's cache (build the engine with
+    [Engine.create ~cache:(Checkpoint.cache session)]) so snapshots
+    see every answered query. *)

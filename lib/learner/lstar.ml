@@ -100,7 +100,8 @@ let refine t cex =
     (fun suffix -> if not (List.mem suffix t.e) then t.e <- t.e @ [ suffix ])
     (suffixes cex)
 
-let learn ?(max_rounds = 100) ~inputs ~mq ~eq () =
+let learn ?(max_rounds = 100) ?(on_round = fun ~round:_ ~states:_ -> ()) ~inputs
+    ~mq ~eq () =
   let t = create ~inputs mq in
   let rec loop round =
     if round > max_rounds then failwith "Lstar.learn: max_rounds exceeded";
@@ -117,6 +118,7 @@ let learn ?(max_rounds = 100) ~inputs ~mq ~eq () =
           Trace.add_attr "hypothesis_states" (Jsonx.Int (Mealy.size h));
           Trace.add_attr "table_rows" (Jsonx.Int (rows t));
           Trace.add_attr "table_columns" (Jsonx.Int (columns t));
+          on_round ~round ~states:(Mealy.size h);
           mq.Oracle.stats.equivalence_queries <-
             mq.Oracle.stats.equivalence_queries + 1;
           let cex = Trace.with_span "learner.eq_query" (fun () -> eq mq h) in

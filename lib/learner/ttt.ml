@@ -207,7 +207,8 @@ let refine t cex =
 
 let hypothesis t = fst (hypothesis t)
 
-let learn ?(max_rounds = 200) ~inputs ~mq ~eq () =
+let learn ?(max_rounds = 200) ?(on_round = fun ~round:_ ~states:_ -> ()) ~inputs
+    ~mq ~eq () =
   let t = create ~inputs mq in
   let rec loop round =
     if round > max_rounds then failwith "Ttt.learn: max_rounds exceeded";
@@ -222,6 +223,7 @@ let learn ?(max_rounds = 200) ~inputs ~mq ~eq () =
           in
           Trace.add_attr "hypothesis_states" (Jsonx.Int (Mealy.size h));
           Trace.add_attr "tree_leaves" (Jsonx.Int (leaves t));
+          on_round ~round ~states:(Mealy.size h);
           mq.Oracle.stats.equivalence_queries <-
             mq.Oracle.stats.equivalence_queries + 1;
           let cex = Trace.with_span "learner.eq_query" (fun () -> eq mq h) in

@@ -28,11 +28,14 @@ val leaves : ('i, 'o) state -> int
 
 val learn :
   ?max_rounds:int ->
+  ?on_round:(round:int -> states:int -> unit) ->
   inputs:'i array ->
   mq:('i, 'o) Oracle.membership ->
   eq:('i, 'o) Oracle.equivalence ->
   unit ->
   ('i, 'o) Prognosis_automata.Mealy.t * int
 (** Full learning loop; returns the final hypothesis and the number of
-    equivalence rounds.
+    equivalence rounds. [on_round] fires after each hypothesis is
+    built, before its equivalence query — the stable point where
+    {!Checkpoint} snapshots a run.
     @raise Failure if [max_rounds] (default 200) is exceeded. *)

@@ -1,0 +1,73 @@
+Crash-tolerant learning runs. Interrupt a TCP study at a query budget
+(the controlled crash): the run snapshots its cache, exits 3 and prints
+a resume hint.
+
+  $ ../bin/prognosis_cli.exe learn --protocol tcp --checkpoint ck --checkpoint-every 50 --query-budget 120
+  interrupted: query budget reached after 120 SUL queries
+  checkpoint saved to ck/tcp.ckpt
+  resume with: prognosis resume --checkpoint ck
+  [3]
+
+The checkpoint directory holds the snapshot plus a manifest describing
+the interrupted run, so `resume` needs nothing but the directory:
+
+  $ ls ck
+  manifest.json
+  tcp.ckpt
+  $ grep -o '"protocol":"tcp"' ck/manifest.json
+  "protocol":"tcp"
+
+Resuming completes the run. The 120 pre-crash queries are answered from
+the warmed cache (the hit count covers them) and the SUL sees strictly
+fewer queries than an uninterrupted run's 1000:
+
+  $ ../bin/prognosis_cli.exe resume --checkpoint ck --save-text resumed.model > resumed.txt
+  $ head -1 resumed.txt
+  tcp (TTT): 6 states, 42 transitions, 880 membership queries (5513 symbols, 691 cache hits / 880 misses), 4 equivalence rounds, 1177 test words
+
+An uninterrupted run serializes to byte-identical canonical text:
+
+  $ ../bin/prognosis_cli.exe learn --protocol tcp --save-text fresh.model > fresh.txt
+  $ head -1 fresh.txt
+  tcp (TTT): 6 states, 42 transitions, 1000 membership queries (5889 symbols, 571 cache hits / 1000 misses), 4 equivalence rounds, 1177 test words
+  $ cmp resumed.model fresh.model && echo identical
+  identical
+
+The golden-model regression gate. First generate the goldens:
+
+  $ ../bin/prognosis_cli.exe ci --golden golden --update-golden
+  [golden] tcp                -> golden/tcp.model
+  [golden] quic:quiche-like   -> golden/quic-quiche-like.model
+  [golden] dtls               -> golden/dtls.model
+  goldens updated under golden
+
+Gating against them passes and can append a Markdown summary (CI passes
+$GITHUB_STEP_SUMMARY here):
+
+  $ ../bin/prognosis_cli.exe ci --golden golden --summary sum.md
+  [ok]   tcp                matches golden/tcp.model
+  [ok]   quic:quiche-like   matches golden/quic-quiche-like.model
+  [ok]   dtls               matches golden/dtls.model
+  golden gate: ok
+  $ grep -c 'matches golden' sum.md
+  3
+
+Perturb one golden transition: the gate fails with the shortest
+distinguishing input word and both models' outputs on it.
+
+  $ sed -i 's/^t 0 0 [0-9]* \([0-9]*\)$/t 0 0 0 \1/' golden/tcp.model
+  $ ../bin/prognosis_cli.exe ci --golden golden
+  [FAIL] tcp                drifted from golden/tcp.model
+         distinguishing word: SYN(?,?,0) ACK(?,?,0)
+           learned: SYN+ACK(?,?,0) NIL
+           golden : SYN+ACK(?,?,0) RST(?,?,0)
+  [ok]   quic:quiche-like   matches golden/quic-quiche-like.model
+  [ok]   dtls               matches golden/dtls.model
+  golden gate: DRIFT
+  [1]
+
+A missing golden is drift too, with a refresh hint:
+
+  $ rm golden/dtls.model
+  $ ../bin/prognosis_cli.exe ci --golden golden | tail -2 | head -1
+  [FAIL] dtls               missing golden: golden/dtls.model: No such file or directory (generate with `prognosis ci --update-golden`)

@@ -56,6 +56,48 @@ let minimize_idempotent () =
   let m = Mealy.minimize counter3 in
   Alcotest.(check int) "already minimal" 3 (Mealy.size m)
 
+(* counter3 with states relabelled by the permutation 0->2, 1->0,
+   2->1 (initial becomes 2): same behaviour, different numbering. *)
+let counter3_permuted =
+  Mealy.make ~size:3 ~initial:2 ~inputs:[| 'a'; 'b' |]
+    ~delta:[| [| 1; 2 |]; [| 2; 2 |]; [| 0; 2 |] |]
+    ~lambda:[| [| "1"; "r" |]; [| "2"; "r" |]; [| "0"; "r" |] |]
+
+let structurally_equal a b =
+  Mealy.size a = Mealy.size b
+  && Mealy.initial a = Mealy.initial b
+  && Mealy.inputs a = Mealy.inputs b
+  &&
+  let same = ref true in
+  for s = 0 to Mealy.size a - 1 do
+    for i = 0 to Mealy.alphabet_size a - 1 do
+      if Mealy.step_idx a s i <> Mealy.step_idx b s i then same := false
+    done
+  done;
+  !same
+
+let canonicalize_permutation_invariant () =
+  let c = Mealy.canonicalize counter3_permuted in
+  Alcotest.(check int) "initial renumbered to 0" 0 (Mealy.initial c);
+  Alcotest.(check (option (list char)))
+    "behaviour preserved" None
+    (Mealy.equivalent c counter3_permuted);
+  Alcotest.(check bool)
+    "same normal form as the unpermuted machine" true
+    (structurally_equal c (Mealy.canonicalize counter3))
+
+let canonicalize_idempotent () =
+  let c = Mealy.canonicalize counter3_permuted in
+  Alcotest.(check bool) "fixed point" true (structurally_equal c (Mealy.canonicalize c))
+
+let canonicalize_drops_unreachable () =
+  let m =
+    Mealy.make ~size:3 ~initial:0 ~inputs:[| 'a' |]
+      ~delta:[| [| 1 |]; [| 0 |]; [| 2 |] |]
+      ~lambda:[| [| "x" |]; [| "y" |]; [| "z" |] |]
+  in
+  Alcotest.(check int) "unreachable dropped" 2 (Mealy.size (Mealy.canonicalize m))
+
 let trim_unreachable () =
   (* State 2 unreachable. *)
   let m =
@@ -247,6 +289,11 @@ let prop_minimize_minimal =
       done;
       !ok)
 
+let prop_canonicalize_preserves =
+  QCheck2.Test.make ~count:200 ~name:"canonicalize preserves behaviour"
+    QCheck2.Gen.(pair gen_mealy gen_word)
+    (fun (m, w) -> Mealy.run m w = Mealy.run (Mealy.canonicalize m) w)
+
 let prop_equivalent_reflexive =
   QCheck2.Test.make ~count:100 ~name:"equivalence is reflexive" gen_mealy
     (fun m -> Mealy.equivalent m m = None)
@@ -278,6 +325,11 @@ let () =
           Alcotest.test_case "minimize removes redundancy" `Quick minimize_removes_redundancy;
           Alcotest.test_case "minimize idempotent" `Quick minimize_idempotent;
           Alcotest.test_case "trim unreachable" `Quick trim_unreachable;
+          Alcotest.test_case "canonicalize permutation-invariant" `Quick
+            canonicalize_permutation_invariant;
+          Alcotest.test_case "canonicalize idempotent" `Quick canonicalize_idempotent;
+          Alcotest.test_case "canonicalize drops unreachable" `Quick
+            canonicalize_drops_unreachable;
           Alcotest.test_case "equivalent detects difference" `Quick equivalent_detects_difference;
           Alcotest.test_case "equivalent shortest" `Quick equivalent_shortest;
           Alcotest.test_case "equivalent same" `Quick equivalent_same;
@@ -309,6 +361,7 @@ let () =
           [
             prop_minimize_preserves;
             prop_minimize_minimal;
+            prop_canonicalize_preserves;
             prop_equivalent_reflexive;
             prop_equivalent_cex_valid;
             prop_w_method_sound;

@@ -188,7 +188,7 @@ let persist_roundtrip () =
   let path = Filename.temp_file "prognosis" ".model" in
   Persist.save ~path Persist.Tcp_model result.Tcp_study.model;
   (match Persist.load_tcp ~path with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Persist.load_error_to_string e)
   | Ok model ->
       Alcotest.(check bool) "identical behaviour" true
         (Prognosis_analysis.Model_diff.equivalent model result.Tcp_study.model));
@@ -216,6 +216,167 @@ let persist_rejects_garbage () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "missing file must be an error"
 
+(* Every load failure is a distinct variant a caller can branch on —
+   not a pre-formatted string. *)
+let persist_error_cases () =
+  let path = Filename.temp_file "prognosis" ".model" in
+  let write text =
+    let oc = open_out_bin path in
+    output_string oc text;
+    close_out oc
+  in
+  let expect what = function
+    | Error e ->
+        Alcotest.fail
+          (Printf.sprintf "expected %s, got: %s" what
+             (Persist.load_error_to_string e))
+    | Ok _ -> Alcotest.fail (Printf.sprintf "expected %s, got a model" what)
+  in
+  write "something else\nentirely\n1.0\n";
+  (match Persist.load_tcp ~path with
+  | Error (Persist.Foreign_magic { found = "something else"; _ }) -> ()
+  | r -> expect "Foreign_magic" r);
+  write "prognosis-model/1\nquic\n0.00.0\n";
+  (match Persist.load_tcp ~path with
+  | Error (Persist.Kind_mismatch { found = "quic"; expected = "tcp"; _ }) -> ()
+  | r -> expect "Kind_mismatch" r);
+  write ("prognosis-model/1\ntcp\n0.00.0\n");
+  (match Persist.load_tcp ~path with
+  | Error (Persist.Version_mismatch { found = "0.00.0"; _ }) -> ()
+  | r -> expect "Version_mismatch" r);
+  write ("prognosis-model/1\ntcp\n" ^ Sys.ocaml_version ^ "\ngarbage payload");
+  (match Persist.load_tcp ~path with
+  | Error (Persist.Corrupt _) -> ()
+  | r -> expect "Corrupt" r);
+  write "prognosis-model/1\n";
+  (match Persist.load_tcp ~path with
+  | Error (Persist.Corrupt { detail = "truncated header"; _ }) -> ()
+  | r -> expect "Corrupt (truncated header)" r);
+  Sys.remove path;
+  match Persist.load_tcp ~path with
+  | Error (Persist.Missing_file _) -> ()
+  | r -> expect "Missing_file" r
+
+(* --- the canonical text format --- *)
+
+module Tcp_alpha = Prognosis_tcp.Tcp_alphabet
+
+let tcp_text model =
+  Persist.text_of_model ~kind:Persist.Tcp_model
+    ~input_to_string:Tcp_alpha.to_string
+    ~output_to_string:Tcp_alpha.output_to_string model
+
+let persist_text_roundtrip () =
+  let r = Tcp_study.learn ~seed:5L () in
+  let text = tcp_text r.Tcp_study.model in
+  match Persist.parse_text ~path:"(mem)" Persist.Tcp_model text with
+  | Error e -> Alcotest.fail (Persist.load_error_to_string e)
+  | Ok m ->
+      Alcotest.(check string)
+        "byte-exact round trip" text
+        (Persist.text_of_model ~kind:Persist.Tcp_model ~input_to_string:Fun.id
+           ~output_to_string:Fun.id m);
+      let strm =
+        Persist.to_string_model ~input_to_string:Tcp_alpha.to_string
+          ~output_to_string:Tcp_alpha.output_to_string r.Tcp_study.model
+      in
+      Alcotest.(check bool)
+        "parsed model is the learned model" true
+        (Prognosis_analysis.Model_diff.equivalent strm m)
+
+let persist_text_canonical_across_runs () =
+  (* Two independent runs — different seed, different algorithm — of
+     the same implementation serialize byte-identically: the property
+     the golden regression gate relies on. *)
+  let a = Tcp_study.learn ~seed:5L () in
+  let b =
+    Tcp_study.learn ~seed:9L ~algorithm:Prognosis_learner.Learn.L_star ()
+  in
+  Alcotest.(check string)
+    "canonical bytes" (tcp_text a.Tcp_study.model) (tcp_text b.Tcp_study.model)
+
+let persist_text_errors () =
+  let p = "(mem)" in
+  let parse text = Persist.parse_text ~path:p Persist.Tcp_model text in
+  (match parse "prognosis.model/2\nkind tcp\n" with
+  | Error (Persist.Version_mismatch { found = "prognosis.model/2"; _ }) -> ()
+  | _ -> Alcotest.fail "future format version must be a Version_mismatch");
+  (match parse "digraph {}\n" with
+  | Error (Persist.Foreign_magic _) -> ()
+  | _ -> Alcotest.fail "foreign text must be a Foreign_magic");
+  (match parse "prognosis.model/1\nkind quic\n" with
+  | Error (Persist.Kind_mismatch { found = "quic"; expected = "tcp"; _ }) -> ()
+  | _ -> Alcotest.fail "kind mismatch must be refused");
+  (match parse "prognosis.model/1\nkind tcp\nstates x\n" with
+  | Error (Persist.Corrupt _) -> ()
+  | _ -> Alcotest.fail "malformed counts must be Corrupt");
+  match Persist.load_text ~path:"/nonexistent/nowhere.model" Persist.Tcp_model with
+  | Error (Persist.Missing_file _) -> ()
+  | _ -> Alcotest.fail "missing file must be a Missing_file"
+
+(* --- checkpoint / resume --- *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let checkpoint_resume_identical () =
+  let module C = Prognosis_learner.Checkpoint in
+  let dir = Filename.temp_file "prognosis" ".ckpt" in
+  Sys.remove dir;
+  let budget = 150 in
+  (* Interrupt a TCP study at the query budget — the controlled crash. *)
+  (match
+     Tcp_study.learn ~seed:5L
+       ~checkpoint:(C.spec ~every:50 ~budget ~dir ())
+       ()
+   with
+  | _ -> Alcotest.fail "expected Budget_exhausted"
+  | exception C.Budget_exhausted { queries; path } ->
+      Alcotest.(check int) "aborted at the budget" budget queries;
+      Alcotest.(check bool) "snapshot written" true (Sys.file_exists path));
+  (* Resume: the canonical model must be byte-identical to an
+     uninterrupted run's, and every pre-crash SUL query must now be a
+     cache hit. *)
+  let resumed =
+    Tcp_study.learn ~seed:5L ~checkpoint:(C.spec ~resume:true ~dir ()) ()
+  in
+  let full = Tcp_study.learn ~seed:5L () in
+  Alcotest.(check string)
+    "byte-identical canonical model"
+    (tcp_text full.Tcp_study.model)
+    (tcp_text resumed.Tcp_study.model);
+  Alcotest.(check bool)
+    "pre-crash queries answered from the warmed cache" true
+    (resumed.Tcp_study.report.Report.cache_hits >= budget);
+  Alcotest.(check bool)
+    "resumed run touches the SUL strictly less" true
+    (resumed.Tcp_study.report.Report.membership_queries
+    < full.Tcp_study.report.Report.membership_queries);
+  rm_rf dir
+
+let checkpoint_kind_guard () =
+  let module C = Prognosis_learner.Checkpoint in
+  let dir = Filename.temp_file "prognosis" ".ckpt" in
+  Sys.remove dir;
+  (match
+     Tcp_study.learn ~seed:5L
+       ~checkpoint:(C.spec ~every:50 ~budget:100 ~dir ())
+       ()
+   with
+  | _ -> Alcotest.fail "expected Budget_exhausted"
+  | exception C.Budget_exhausted _ -> ());
+  (* A DTLS resume must refuse the TCP snapshot's kind. *)
+  (match C.load ~path:(Filename.concat dir "tcp.ckpt") ~kind:"dtls" with
+  | Error (C.Kind_mismatch { found = "tcp"; expected = "dtls"; _ }) -> ()
+  | Error e -> Alcotest.fail (C.error_to_string e)
+  | Ok (_ : (unit, unit) C.snapshot) ->
+      Alcotest.fail "kind mismatch must be refused");
+  rm_rf dir
+
 let quic_ncid_property () =
   (* The ncid-buggy profile violates "sequence numbers increase by 1". *)
   let learn profile =
@@ -240,6 +401,16 @@ let () =
           Alcotest.test_case "roundtrip" `Slow persist_roundtrip;
           Alcotest.test_case "kind guard" `Slow persist_kind_guard;
           Alcotest.test_case "garbage" `Quick persist_rejects_garbage;
+          Alcotest.test_case "structured errors" `Quick persist_error_cases;
+          Alcotest.test_case "text roundtrip" `Slow persist_text_roundtrip;
+          Alcotest.test_case "text canonical across runs" `Slow
+            persist_text_canonical_across_runs;
+          Alcotest.test_case "text errors" `Quick persist_text_errors;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "resume identical" `Slow checkpoint_resume_identical;
+          Alcotest.test_case "kind guard" `Slow checkpoint_kind_guard;
         ] );
       ( "tcp-study",
         [

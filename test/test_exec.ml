@@ -261,6 +261,53 @@ let invalid_configs () =
            ~config:{ Engine.default with Engine.workers = 2; replicas = 3 }
            ~factory ()))
 
+(* --- checkpointable pool state --- *)
+
+let freeze_thaw_roundtrip () =
+  let config = { Engine.default with Engine.workers = 3 } in
+  let e = engine_for ~config counter3 in
+  let mq = Engine.membership e in
+  ignore (mq.Oracle.ask [ 'a' ]);
+  ignore (mq.Oracle.ask [ 'b' ]);
+  ignore (mq.Oracle.ask [ 'a'; 'a' ]);
+  let blob = Engine.freeze e in
+  let e' = engine_for ~config counter3 in
+  Engine.thaw e' blob;
+  Alcotest.(check (array int))
+    "worker runs restored" (Engine.worker_runs e) (Engine.worker_runs e');
+  Alcotest.(check (list int))
+    "quarantines restored" (Engine.quarantined e) (Engine.quarantined e')
+
+let thaw_guards () =
+  let e = engine_for ~config:{ Engine.default with Engine.workers = 3 } counter3 in
+  let blob = Engine.freeze e in
+  let smaller =
+    engine_for ~config:{ Engine.default with Engine.workers = 2 } counter3
+  in
+  Alcotest.check_raises "pool size guard"
+    (Invalid_argument
+       "Engine.thaw: pool size changed (checkpointed 3 workers, pool has 2)")
+    (fun () -> Engine.thaw smaller blob);
+  Alcotest.check_raises "foreign blob"
+    (Invalid_argument "Engine.thaw: unreadable state blob") (fun () ->
+      Engine.thaw smaller "gibberish")
+
+let external_cache_short_circuits () =
+  (* A pre-warmed cache (a checkpoint session's) answers without
+     touching the pool — the mechanism behind crash-free resume. *)
+  let cache = Prognosis_learner.Cache.create () in
+  Prognosis_learner.Cache.insert cache [ 'a'; 'a' ] [ "0"; "1" ];
+  let e =
+    Engine.create ~cache ~factory:(fun _ -> Sul.of_mealy counter3) ()
+  in
+  let mq = Engine.membership e in
+  Alcotest.(check (list string)) "cached answer" [ "0"; "1" ]
+    (mq.Oracle.ask [ 'a'; 'a' ]);
+  Alcotest.(check int) "no pool run" 0 (Engine.stats e).Engine.runs;
+  Alcotest.(check (list string)) "uncached answer" [ "0"; "r" ]
+    (mq.Oracle.ask [ 'a'; 'b' ]);
+  Alcotest.(check int) "one pool run" 1 (Engine.stats e).Engine.runs
+
 (* --- end-to-end: the TCP study through the pool --- *)
 
 let exec_field e k =
@@ -351,6 +398,12 @@ let () =
             adversarial_worker_quarantined;
           Alcotest.test_case "no majority" `Quick no_majority_raises;
           Alcotest.test_case "agreeing replicas" `Quick replicas_agreeing;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "freeze/thaw roundtrip" `Quick freeze_thaw_roundtrip;
+          Alcotest.test_case "thaw guards" `Quick thaw_guards;
+          Alcotest.test_case "external cache" `Quick external_cache_short_circuits;
         ] );
       ( "studies",
         [

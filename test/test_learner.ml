@@ -298,8 +298,13 @@ let prop_learner name learner =
       Mealy.equivalent learned target = None
       && Mealy.size learned = Mealy.size (Mealy.minimize target))
 
-let prop_lstar = prop_learner "l* recovers random machines" (Lstar.learn ?max_rounds:None)
-let prop_ttt = prop_learner "ttt recovers random machines" (Ttt.learn ?max_rounds:None)
+let prop_lstar =
+  prop_learner "l* recovers random machines"
+    (Lstar.learn ?max_rounds:None ?on_round:None)
+
+let prop_ttt =
+  prop_learner "ttt recovers random machines"
+    (Ttt.learn ?max_rounds:None ?on_round:None)
 
 let prop_agreement =
   QCheck2.Test.make ~count:40 ~name:"l* and ttt agree" gen_mealy (fun target ->
