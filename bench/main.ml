@@ -1069,10 +1069,7 @@ let write_snapshot bench_rows =
       ]
   in
   let path = "BENCH_run.json" in
-  let oc = open_out path in
-  output_string oc (Jsonx.to_string json);
-  output_char oc '\n';
-  close_out oc;
+  Prognosis_obs.Atomic_file.write ~path (Jsonx.to_string json ^ "\n");
   Printf.printf "snapshot written to %s\n" path
 
 let () =

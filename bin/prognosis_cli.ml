@@ -181,20 +181,47 @@ let read_manifest dir =
                 }))
 
 let run_learn ~protocol ~profile_name ~seed ~algorithm ~exec ~checkpoint
-    ~dot_out ~save_out ~text_out ~trace_out ~metrics_out =
+    ~dot_out ~save_out ~text_out ~trace_out ~metrics_out ~flight_out
+    ~openmetrics_out =
   (* Telemetry: zero the process-wide registry so the metrics snapshot
-     describes exactly this run, and tee spans into a JSONL file when
-     asked (docs/OBSERVABILITY.md documents both formats). *)
+     describes exactly this run, and tee spans into a JSONL file and/or
+     a flight-recorder ring when asked (docs/OBSERVABILITY.md documents
+     the formats). *)
   Prognosis_obs.Metrics.reset Prognosis_obs.Metrics.default;
-  (match trace_out with
-  | None -> ()
-  | Some path -> (
-      try Prognosis_obs.Trace.set_sink (Prognosis_obs.Trace.Sink.jsonl_file path)
-      with Sys_error msg -> or_die (Error ("cannot open trace file: " ^ msg))));
+  let tracing = trace_out <> None || flight_out <> None in
+  (match (trace_out, flight_out) with
+  | None, None -> ()
+  | trace_out, flight_out ->
+      let file_sink =
+        Option.map
+          (fun path ->
+            try Prognosis_obs.Trace.Sink.jsonl_file path
+            with Sys_error msg ->
+              or_die (Error ("cannot open trace file: " ^ msg)))
+          trace_out
+      in
+      let ring_sink =
+        Option.map
+          (fun path ->
+            (* the ring dumps at every process exit — normal, exit 3 on
+               budget exhaustion, or SIGTERM/SIGINT — so a killed run
+               still leaves its last events behind *)
+            let ring = Prognosis_obs.Ring.create () in
+            Prognosis_obs.Ring.install_flight ~path ring;
+            Prognosis_obs.Ring.sink ring)
+          flight_out
+      in
+      let sink =
+        match (file_sink, ring_sink) with
+        | Some f, Some r -> Prognosis_obs.Trace.Sink.tee f r
+        | Some f, None -> f
+        | None, Some r -> r
+        | None, None -> assert false
+      in
+      Prognosis_obs.Trace.set_sink sink);
   let report, dot, save, save_text =
     Fun.protect
-      ~finally:(fun () ->
-        if trace_out <> None then Prognosis_obs.Trace.unset_sink ())
+      ~finally:(fun () -> if tracing then Prognosis_obs.Trace.unset_sink ())
       (fun () ->
         try
           match protocol with
@@ -271,18 +298,26 @@ let run_learn ~protocol ~profile_name ~seed ~algorithm ~exec ~checkpoint
   (match trace_out with
   | None -> ()
   | Some path -> Format.printf "trace written to %s@." path);
+  (match flight_out with
+  | None -> ()
+  | Some path -> Format.printf "flight recorder armed (dumps to %s)@." path);
   (match metrics_out with
   | None -> ()
   | Some path ->
-      let oc =
-        try open_out path
-        with Sys_error msg -> or_die (Error ("cannot open metrics file: " ^ msg))
-      in
-      output_string oc
-        (Report.to_json_string ~metrics:Prognosis_obs.Metrics.default report);
-      output_char oc '\n';
-      close_out oc;
+      (try
+         Prognosis_obs.Atomic_file.write ~path
+           (Report.to_json_string ~metrics:Prognosis_obs.Metrics.default report
+           ^ "\n")
+       with Sys_error msg ->
+         or_die (Error ("cannot write metrics file: " ^ msg)));
       Format.printf "metrics written to %s@." path);
+  (match openmetrics_out with
+  | None -> ()
+  | Some path ->
+      (try Prognosis_obs.Openmetrics.write_file Prognosis_obs.Metrics.default path
+       with Sys_error msg ->
+         or_die (Error ("cannot write openmetrics file: " ^ msg)));
+      Format.printf "openmetrics written to %s@." path);
   (match dot_out with
   | None -> ()
   | Some path ->
@@ -300,8 +335,8 @@ let run_learn ~protocol ~profile_name ~seed ~algorithm ~exec ~checkpoint
       Format.printf "canonical model written to %s@." path
 
 let do_learn () protocol profile_name seed algorithm workers batch parallel
-    replicas dot_out save_out text_out trace_out metrics_out checkpoint_dir
-    checkpoint_every query_budget resume =
+    replicas dot_out save_out text_out trace_out metrics_out flight_out
+    openmetrics_out checkpoint_dir checkpoint_every query_budget resume =
   let exec = exec_of_flags ~workers ~batch ~parallel ~replicas in
   if Option.is_some query_budget && Option.is_none checkpoint_dir then
     or_die (Error "--query-budget needs --checkpoint DIR");
@@ -331,7 +366,8 @@ let do_learn () protocol profile_name seed algorithm workers batch parallel
     checkpoint_dir;
   match
     run_learn ~protocol ~profile_name ~seed ~algorithm ~exec ~checkpoint
-      ~dot_out ~save_out ~text_out ~trace_out ~metrics_out
+      ~dot_out ~save_out ~text_out ~trace_out ~metrics_out ~flight_out
+      ~openmetrics_out
   with
   | () -> ()
   | exception Prognosis_learner.Checkpoint.Budget_exhausted { queries; path } ->
@@ -390,6 +426,23 @@ let metrics_out =
   in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+let flight_out =
+  let doc =
+    "Arm the flight recorder: keep the most recent trace events in a bounded \
+     in-memory ring and dump them to $(docv) when the process exits — \
+     normally, on a --query-budget abort, or on SIGTERM/SIGINT — so a \
+     crashed or killed run keeps its last moments. Enables tracing (like \
+     --trace, --parallel batches fall back to sequential)."
+  in
+  Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE" ~doc)
+
+let openmetrics_out =
+  let doc =
+    "Export the end-of-run metrics snapshot in OpenMetrics / Prometheus text \
+     format to $(docv) (per-worker and per-study labelled series included)."
+  in
+  Arg.(value & opt (some string) None & info [ "openmetrics" ] ~docv:"FILE" ~doc)
+
 let workers_arg =
   let doc =
     "Size of the query-execution worker pool: $(docv) independent SUL \
@@ -428,13 +481,14 @@ let learn_cmd =
     Term.(
       const do_learn $ verbose $ protocol $ profile_arg $ seed $ algorithm
       $ workers_arg $ batch_arg $ parallel_arg $ replicas_arg $ dot_out
-      $ save_out $ text_out $ trace_out $ metrics_out $ checkpoint_dir_arg
-      $ checkpoint_every_arg $ query_budget_arg $ resume_flag)
+      $ save_out $ text_out $ trace_out $ metrics_out $ flight_out
+      $ openmetrics_out $ checkpoint_dir_arg $ checkpoint_every_arg
+      $ query_budget_arg $ resume_flag)
 
 (* --- resume --- *)
 
 let do_resume () dir query_budget dot_out save_out text_out trace_out
-    metrics_out =
+    metrics_out flight_out openmetrics_out =
   let m = or_die (read_manifest dir) in
   let exec =
     exec_of_flags ~workers:m.m_workers ~batch:m.m_batch ~parallel:m.m_parallel
@@ -448,7 +502,7 @@ let do_resume () dir query_budget dot_out save_out text_out trace_out
   match
     run_learn ~protocol:m.m_protocol ~profile_name:m.m_profile ~seed:m.m_seed
       ~algorithm:m.m_algorithm ~exec ~checkpoint ~dot_out ~save_out ~text_out
-      ~trace_out ~metrics_out
+      ~trace_out ~metrics_out ~flight_out ~openmetrics_out
   with
   | () -> ()
   | exception Prognosis_learner.Checkpoint.Budget_exhausted { queries; path } ->
@@ -477,7 +531,7 @@ let resume_cmd =
     (Cmd.info "resume" ~doc)
     Term.(
       const do_resume $ verbose $ dir $ query_budget_arg $ dot_out $ save_out
-      $ text_out $ trace_out $ metrics_out)
+      $ text_out $ trace_out $ metrics_out $ flight_out $ openmetrics_out)
 
 (* --- compare --- *)
 
@@ -954,13 +1008,217 @@ let ci_cmd =
     (Cmd.info "ci" ~doc)
     Term.(const do_ci $ verbose $ golden_dir $ seed $ update $ summary_out)
 
+(* --- trace: analyze a recorded span trace --- *)
+
+let read_jsonl path =
+  let module J = Prognosis_obs.Jsonx in
+  match read_file path with
+  | Error msg -> Error msg
+  | Ok text ->
+      let lines =
+        String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+      in
+      let bad = ref 0 in
+      let records =
+        List.filter_map
+          (fun l ->
+            match J.of_string_opt l with
+            | Some j -> Some j
+            | None ->
+                incr bad;
+                None)
+          lines
+      in
+      Ok (records, !bad)
+
+let do_trace () file top slowest depth =
+  let module J = Prognosis_obs.Jsonx in
+  let module T = Prognosis_obs.Span_tree in
+  let records, bad = or_die (read_jsonl file) in
+  (match records with
+  | first :: _
+    when J.member "type" first = Some (J.String "meta")
+         && J.member "schema" first
+            = Some (J.String Prognosis_obs.Trace.schema) ->
+      let flight =
+        match J.member "flight" first with Some (J.Bool true) -> true | _ -> false
+      in
+      Format.printf "trace: %s (%s%d records)@." Prognosis_obs.Trace.schema
+        (if flight then "flight dump, " else "")
+        (List.length records)
+  | _ ->
+      Format.printf
+        "warning: no %s meta header — treating input as a bare record stream@."
+        Prognosis_obs.Trace.schema);
+  if bad > 0 then Format.printf "warning: %d unparseable line(s) skipped@." bad;
+  let roots = T.of_records records in
+  if roots = [] then or_die (Error "no span or event records in this trace");
+  Format.printf "@.== span tree ==@.%s" (T.render_tree ~max_depth:depth roots);
+  let widest_root =
+    List.fold_left
+      (fun best r -> if r.T.dur_ns > best.T.dur_ns then r else best)
+      (List.hd roots) (List.tl roots)
+  in
+  Format.printf "@.== critical path ==@.";
+  List.iter
+    (fun n -> Format.printf "  %s  %s@." n.T.name (T.pp_ns n.T.dur_ns))
+    (T.critical_path widest_root);
+  Format.printf "@.== slowest %s spans ==@." slowest;
+  (match T.top_slowest ~name:slowest ~k:top roots with
+  | [] -> Format.printf "  (none)@."
+  | hits ->
+      List.iteri
+        (fun i n ->
+          let len =
+            match List.assoc_opt "len" n.T.attrs with
+            | Some (J.Int l) -> Printf.sprintf "  len=%d" l
+            | _ -> ""
+          in
+          Format.printf "  %d. %s%s  (id %d)@." (i + 1) (T.pp_ns n.T.dur_ns)
+            len n.T.id)
+        hits);
+  Format.printf "@.== phase breakdown ==@.";
+  match T.phase_breakdown roots with
+  | [] -> Format.printf "  (no phase annotations)@."
+  | phases ->
+      let total = List.fold_left (fun acc (_, ns) -> acc + ns) 0 phases in
+      List.iter
+        (fun (p, ns) ->
+          Format.printf "  %-12s %10s  %3.0f%%@." p (T.pp_ns ns)
+            (100.0 *. float_of_int ns /. float_of_int (max 1 total)))
+        phases
+
+let trace_cmd =
+  let doc =
+    "Analyze a recorded JSONL span trace (from `learn --trace` or a flight \
+     dump): aggregated span tree, critical path, top-k slowest spans and \
+     per-phase time breakdown."
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file (JSONL).")
+  in
+  let top =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"K" ~doc:"How many slowest spans to list.")
+  in
+  let slowest =
+    Arg.(
+      value & opt string "oracle.mq"
+      & info [ "slowest" ] ~docv:"NAME"
+          ~doc:
+            "Span name ranked in the slowest-spans section (default: \
+             membership queries).")
+  in
+  let depth =
+    Arg.(
+      value & opt int 4
+      & info [ "depth" ] ~docv:"D" ~doc:"Maximum span-tree depth printed.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(const do_trace $ verbose $ file $ top $ slowest $ depth)
+
+(* --- report diff: compare two machine-readable reports --- *)
+
+let do_report_diff () file_a file_b threshold_pct show_all =
+  let module J = Prognosis_obs.Jsonx in
+  let module D = Prognosis_obs.Report_diff in
+  let load path =
+    match read_file path with
+    | Error msg -> or_die (Error msg)
+    | Ok text -> (
+        match J.of_string_opt text with
+        | Some j -> j
+        | None -> or_die (Error (path ^ ": not valid JSON")))
+  in
+  let a = load file_a and b = load file_b in
+  let deltas = D.diff a b in
+  let shown =
+    if show_all then deltas else List.filter D.changed deltas
+  in
+  let fmt_v = function
+    | None -> "-"
+    | Some v ->
+        if Float.is_integer v && Float.abs v < 1e15 then
+          Printf.sprintf "%.0f" v
+        else Printf.sprintf "%.4g" v
+  in
+  if shown = [] then Format.printf "no differences@."
+  else
+    List.iter
+      (fun d ->
+        let pct =
+          match (d.D.a, d.D.b) with
+          | Some a, Some b when a <> 0.0 && a <> b ->
+              Printf.sprintf "  (%+.1f%%)" (100.0 *. (b -. a) /. a)
+          | _ -> ""
+        in
+        Format.printf "%s: %s -> %s%s@." d.D.path (fmt_v d.D.a) (fmt_v d.D.b)
+          pct)
+      shown;
+  let threshold = threshold_pct /. 100.0 in
+  match D.regressions ~threshold deltas with
+  | [] -> Format.printf "regression gate: ok (threshold %.0f%%)@." threshold_pct
+  | regs ->
+      Format.printf "regression gate: %d metric(s) regressed beyond %.0f%%@."
+        (List.length regs) threshold_pct;
+      List.iter
+        (fun d ->
+          Format.printf "  REGRESSED %s: %s -> %s@." d.D.path (fmt_v d.D.a)
+            (fmt_v d.D.b))
+        regs;
+      exit 1
+
+let report_diff_cmd =
+  let doc =
+    "Diff two machine-readable reports ($(b,prognosis.report/1) or \
+     $(b,prognosis.bench/*) snapshots) as flat metric maps and gate on \
+     regressions: exits 1 when a watched metric (benchmark timings, \
+     membership/reset/step effort) grew beyond the threshold."
+  in
+  let file_a =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline report (JSON).")
+  in
+  let file_b =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"CANDIDATE" ~doc:"Candidate report (JSON).")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 10.0
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:"Allowed growth of a watched metric, in percent.")
+  in
+  let show_all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Print unchanged metrics too, not just deltas.")
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc)
+    Term.(
+      const do_report_diff $ verbose $ file_a $ file_b $ threshold $ show_all)
+
+let report_cmd =
+  let doc = "Operations on machine-readable run reports." in
+  Cmd.group (Cmd.info "report" ~doc) [ report_diff_cmd ]
+
 let main =
   let doc = "closed-box learning and analysis of protocol implementations" in
   Cmd.group
     (Cmd.info "prognosis" ~version:"1.0.0" ~doc)
     [
       learn_cmd; resume_cmd; ci_cmd; compare_cmd; nondet_cmd; synthesize_cmd;
-      check_cmd; difftest_cmd; render_cmd; replay_cmd;
+      check_cmd; difftest_cmd; render_cmd; replay_cmd; trace_cmd; report_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -46,7 +46,5 @@ let diff_dot ?(name = "diff") ~input_pp ~output_pp a b =
   Buffer.contents buf
 
 let write_file ~path contents =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+  (* atomic (temp-file + rename), like every other report writer *)
+  Prognosis_obs.Atomic_file.write ~path contents

@@ -42,6 +42,9 @@ let scenarios =
 
 let learn ?(seed = 1L) ?(algorithm = Learn.Ttt_tree) ?server_config ?exec
     ?checkpoint () =
+  let module Metrics = Prognosis_obs.Metrics in
+  Metrics.inc
+    (Metrics.counter_l Metrics.default "study.learn_runs" [ ("study", "dtls") ]);
   let adapter, client = Prognosis_dtls.Dtls_adapter.create ?server_config ~seed () in
   let rng = Rng.create (Int64.add seed 7L) in
   let eq =

@@ -42,32 +42,32 @@ type ('i, 'o) payload = {
 }
 
 let save ~path kind model =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc magic;
-      output_char oc '\n';
-      output_string oc (kind_to_string kind);
-      output_char oc '\n';
-      output_string oc Sys.ocaml_version;
-      output_char oc '\n';
-      let payload =
-        {
-          size = Mealy.size model;
-          initial = Mealy.initial model;
-          inputs = Mealy.inputs model;
-          delta =
-            Array.init (Mealy.size model) (fun s ->
-                Array.init (Mealy.alphabet_size model) (fun i ->
-                    fst (Mealy.step_idx model s i)));
-          lambda =
-            Array.init (Mealy.size model) (fun s ->
-                Array.init (Mealy.alphabet_size model) (fun i ->
-                    snd (Mealy.step_idx model s i)));
-        }
-      in
-      Marshal.to_channel oc payload [])
+  let payload =
+    {
+      size = Mealy.size model;
+      initial = Mealy.initial model;
+      inputs = Mealy.inputs model;
+      delta =
+        Array.init (Mealy.size model) (fun s ->
+            Array.init (Mealy.alphabet_size model) (fun i ->
+                fst (Mealy.step_idx model s i)));
+      lambda =
+        Array.init (Mealy.size model) (fun s ->
+            Array.init (Mealy.alphabet_size model) (fun i ->
+                snd (Mealy.step_idx model s i)));
+    }
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (kind_to_string kind);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf Sys.ocaml_version;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Marshal.to_string payload []);
+  (* temp-file + rename: a crash mid-save never leaves a truncated
+     model where a good one may have stood *)
+  Prognosis_obs.Atomic_file.write ~path (Buffer.contents buf)
 
 let load ~path kind =
   match open_in_bin path with
@@ -183,16 +183,7 @@ let text_of_model ~kind ~input_to_string ~output_to_string model =
 
 let save_text ~path kind ~input_to_string ~output_to_string model =
   let text = text_of_model ~kind ~input_to_string ~output_to_string model in
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  (try
-     Fun.protect
-       ~finally:(fun () -> close_out oc)
-       (fun () -> output_string oc text)
-   with e ->
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp path
+  Prognosis_obs.Atomic_file.write ~path text
 
 let parse_text ~path kind text =
   let corrupt detail = Error (Corrupt { path; detail }) in

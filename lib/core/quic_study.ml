@@ -29,6 +29,10 @@ let algorithm_name = function Learn.L_star -> "L*" | Learn.Ttt_tree -> "TTT"
 
 let learn ?(seed = 1L) ?(algorithm = Learn.Ttt_tree) ?(alphabet = Alphabet.all)
     ?client_config ?exec ?checkpoint ~profile () =
+  let module Metrics = Prognosis_obs.Metrics in
+  Metrics.inc
+    (Metrics.counter_l Metrics.default "study.learn_runs"
+       [ ("study", "quic"); ("profile", profile.Profile.name) ]);
   let adapter, client = Quic_adapter.create ~profile ?client_config ~seed () in
   let rng = Rng.create (Int64.add seed 7L) in
   let eq =

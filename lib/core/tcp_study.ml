@@ -33,6 +33,9 @@ let ckpt_kind = "tcp"
 
 let learn ?(seed = 1L) ?(algorithm = Learn.Ttt_tree) ?server_config ?exec
     ?checkpoint () =
+  let module Metrics = Prognosis_obs.Metrics in
+  Metrics.inc
+    (Metrics.counter_l Metrics.default "study.learn_runs" [ ("study", "tcp") ]);
   (* The adapter kept in the result records the Oracle Table for
      synthesis; with an engine the pool workers are separate instances
      and witness queries replay through this one. *)

@@ -33,6 +33,8 @@ type ('i, 'o) worker = {
          the next run must reset. Invariant: a set position is always a
          cache-inserted word, so its per-step outputs are recoverable. *)
   mutable runs_done : int;
+  mutable resets_done : int;
+  mutable steps_done : int;
   mutable strikes : int;
   mutable quarantined_until : int; (* engine run-clock value *)
 }
@@ -78,6 +80,9 @@ type ('i, 'o) t = {
   oracle_stats : Oracle.stats;
   mutable clock : int; (* total runs executed, for quarantine cooldowns *)
   mutable rr : int; (* round-robin cursor for replica selection *)
+  (* per-worker labelled gauges (exec.worker.*{worker="i"}), obtained
+     once at pool creation and written on the main domain in [flush] *)
+  worker_gauges : (float ref * float ref * float ref) array;
 }
 
 let m_batches = Metrics.counter Metrics.default "exec.batches"
@@ -97,6 +102,14 @@ let m_quarantines = Metrics.counter Metrics.default "exec.quarantines"
 let g_workers = Metrics.gauge Metrics.default "exec.workers"
 let g_utilization = Metrics.gauge Metrics.default "exec.worker_utilization"
 
+let worker_label id = [ ("worker", string_of_int id) ]
+
+let worker_strikes id =
+  Metrics.counter_l Metrics.default "exec.worker.strikes" (worker_label id)
+
+let worker_quarantines id =
+  Metrics.counter_l Metrics.default "exec.worker.quarantines" (worker_label id)
+
 let create ?(config = default) ?cache ~factory () =
   if config.workers < 1 then invalid_arg "Engine.create: workers must be >= 1";
   if config.replicas < 1 then
@@ -110,11 +123,20 @@ let create ?(config = default) ?cache ~factory () =
           sul = factory id;
           position = None;
           runs_done = 0;
+          resets_done = 0;
+          steps_done = 0;
           strikes = 0;
           quarantined_until = 0;
         })
   in
   Metrics.set g_workers (float_of_int config.workers);
+  let worker_gauges =
+    Array.init config.workers (fun id ->
+        ( Metrics.gauge_l Metrics.default "exec.worker.runs" (worker_label id),
+          Metrics.gauge_l Metrics.default "exec.worker.resets" (worker_label id),
+          Metrics.gauge_l Metrics.default "exec.worker.steps" (worker_label id)
+        ))
+  in
   {
     config;
     workers;
@@ -123,6 +145,7 @@ let create ?(config = default) ?cache ~factory () =
     oracle_stats = Oracle.fresh_stats ();
     clock = 0;
     rr = 0;
+    worker_gauges;
   }
 
 (* --- checkpointable pool state ---
@@ -198,6 +221,7 @@ let step_word acct worker word =
   List.map
     (fun x ->
       acct.a_steps <- acct.a_steps + 1;
+      worker.steps_done <- worker.steps_done + 1;
       worker.sul.Sul.step x)
     word
 
@@ -213,6 +237,7 @@ let run_word ~resume cache acct worker word =
     worker.position <- None;
     worker.sul.Sul.reset ();
     acct.a_resets <- acct.a_resets + 1;
+    worker.resets_done <- worker.resets_done + 1;
     let outs = step_word acct worker word in
     worker.position <- Some word;
     outs
@@ -247,7 +272,14 @@ let flush t acct =
   let mn =
     Array.fold_left (fun m w -> min m w.runs_done) max_int t.workers
   in
-  if mx > 0 then Metrics.set g_utilization (float_of_int mn /. float_of_int mx)
+  if mx > 0 then Metrics.set g_utilization (float_of_int mn /. float_of_int mx);
+  Array.iteri
+    (fun i w ->
+      let g_runs, g_resets, g_steps = t.worker_gauges.(i) in
+      Metrics.set g_runs (float_of_int w.runs_done);
+      Metrics.set g_resets (float_of_int w.resets_done);
+      Metrics.set g_steps (float_of_int w.steps_done))
+    t.workers
 
 (* The engine's savings are reported against the no-reuse sequential
    oracle: every query the learner (or equivalence suite) asks costs
@@ -310,6 +342,7 @@ let tally answers =
 
 let strike t worker =
   worker.strikes <- worker.strikes + 1;
+  Metrics.inc (worker_strikes worker.id);
   if
     worker.strikes >= t.config.max_strikes
     && List.length (active_workers t) > 1
@@ -319,6 +352,7 @@ let strike t worker =
     worker.position <- None;
     t.stats.quarantines <- t.stats.quarantines + 1;
     Metrics.inc m_quarantines;
+    Metrics.inc (worker_quarantines worker.id);
     if Trace.enabled () then
       Trace.event
         ~attrs:

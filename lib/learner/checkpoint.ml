@@ -43,6 +43,7 @@ let save ~path ~kind snapshot =
         ("kind", Jsonx.String kind);
         ("queries", Jsonx.Int snapshot.queries);
         ("words", Jsonx.Int (List.length snapshot.words));
+        ("phase", Jsonx.String "checkpoint");
       ]
     "checkpoint.save"
     (fun () ->

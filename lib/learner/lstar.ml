@@ -109,7 +109,11 @@ let learn ?(max_rounds = 100) ?(on_round = fun ~round:_ ~states:_ -> ()) ~inputs
     let h, cex =
       Trace.with_span
         ~attrs:
-          [ ("algorithm", Jsonx.String "lstar"); ("round", Jsonx.Int round) ]
+          [
+            ("algorithm", Jsonx.String "lstar");
+            ("round", Jsonx.Int round);
+            ("phase", Jsonx.String "learning");
+          ]
         "learner.round"
         (fun () ->
           let h =
@@ -121,7 +125,12 @@ let learn ?(max_rounds = 100) ?(on_round = fun ~round:_ ~states:_ -> ()) ~inputs
           on_round ~round ~states:(Mealy.size h);
           mq.Oracle.stats.equivalence_queries <-
             mq.Oracle.stats.equivalence_queries + 1;
-          let cex = Trace.with_span "learner.eq_query" (fun () -> eq mq h) in
+          let cex =
+            Trace.with_span
+              ~attrs:[ ("phase", Jsonx.String "eq-oracle") ]
+              "learner.eq_query"
+              (fun () -> eq mq h)
+          in
           (h, cex))
     in
     match cex with

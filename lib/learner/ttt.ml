@@ -215,7 +215,12 @@ let learn ?(max_rounds = 200) ?(on_round = fun ~round:_ ~states:_ -> ()) ~inputs
     Metrics.inc m_rounds;
     let h, cex =
       Trace.with_span
-        ~attrs:[ ("algorithm", Jsonx.String "ttt"); ("round", Jsonx.Int round) ]
+        ~attrs:
+          [
+            ("algorithm", Jsonx.String "ttt");
+            ("round", Jsonx.Int round);
+            ("phase", Jsonx.String "learning");
+          ]
         "learner.round"
         (fun () ->
           let h =
@@ -226,7 +231,12 @@ let learn ?(max_rounds = 200) ?(on_round = fun ~round:_ ~states:_ -> ()) ~inputs
           on_round ~round ~states:(Mealy.size h);
           mq.Oracle.stats.equivalence_queries <-
             mq.Oracle.stats.equivalence_queries + 1;
-          let cex = Trace.with_span "learner.eq_query" (fun () -> eq mq h) in
+          let cex =
+            Trace.with_span
+              ~attrs:[ ("phase", Jsonx.String "eq-oracle") ]
+              "learner.eq_query"
+              (fun () -> eq mq h)
+          in
           (h, cex))
     in
     match cex with

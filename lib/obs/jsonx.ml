@@ -26,7 +26,12 @@ let float_repr f =
   else if Float.is_nan f then "null" (* NaN has no JSON encoding *)
   else if f = Float.infinity then "1e999"
   else if f = Float.neg_infinity then "-1e999"
-  else Printf.sprintf "%.17g" f
+  else
+    let s = Printf.sprintf "%.17g" f in
+    (* keep a mark of floatness: %.17g may print large integral values
+       bare ("1e15" -> "1000000000000000"), which would re-parse as Int *)
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
 
 let rec write buf = function
   | Null -> Buffer.add_string buf "null"
@@ -66,6 +71,12 @@ let to_string v =
    the sink output and validating trace files --- *)
 
 exception Parse_error of string
+
+(* Recursion guard: the parser descends once per nesting level, so
+   adversarially deep input ([[[[...]]]]) would otherwise exhaust the
+   stack. 512 levels is far beyond anything the telemetry layer
+   emits. *)
+let max_depth = 512
 
 type cursor = { src : string; mutable pos : int }
 
@@ -161,7 +172,8 @@ let parse_number c =
       | Some f -> Float f
       | None -> error c "bad number")
 
-let rec parse_value c =
+let rec parse_value depth c =
+  if depth > max_depth then error c "nesting too deep";
   skip_ws c;
   match peek c with
   | None -> error c "unexpected end of input"
@@ -179,11 +191,11 @@ let rec parse_value c =
         List []
       end
       else begin
-        let items = ref [ parse_value c ] in
+        let items = ref [ parse_value (depth + 1) c ] in
         skip_ws c;
         while peek c = Some ',' do
           advance c;
-          items := parse_value c :: !items;
+          items := parse_value (depth + 1) c :: !items;
           skip_ws c
         done;
         expect c ']';
@@ -203,7 +215,7 @@ let rec parse_value c =
           let k = parse_string_body c in
           skip_ws c;
           expect c ':';
-          let v = parse_value c in
+          let v = parse_value (depth + 1) c in
           (k, v)
         in
         let fields = ref [ field () ] in
@@ -220,7 +232,7 @@ let rec parse_value c =
 
 let of_string s =
   let c = { src = s; pos = 0 } in
-  let v = parse_value c in
+  let v = parse_value 0 c in
   skip_ws c;
   if c.pos <> String.length s then error c "trailing garbage";
   v

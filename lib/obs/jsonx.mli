@@ -18,8 +18,9 @@ val to_string : t -> string
 exception Parse_error of string
 
 val of_string : string -> t
-(** Parse one JSON value; raises {!Parse_error} on malformed input or
-    trailing garbage. *)
+(** Parse one JSON value; raises {!Parse_error} on malformed input,
+    trailing garbage, or nesting deeper than 512 levels (a recursion
+    guard — the parser descends once per level). *)
 
 val of_string_opt : string -> t option
 

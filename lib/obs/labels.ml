@@ -1,0 +1,109 @@
+(* Metric labels: ordered key/value dimensions attached to a metric
+   name. The registry stores labelled metrics under an *encoded* name
+   — [name{k="v",k2="v2"}] with keys sorted and values escaped — so
+   the hot-path cost of a labelled metric is identical to a plain one
+   (the encoding happens once, at handle-creation time). [split]
+   recovers the base name and label set for exporters that need them
+   structurally (the OpenMetrics renderer). *)
+
+type t = (string * string) list
+
+let canonical labels =
+  List.stable_sort (fun (a, _) (b, _) -> compare a b) labels
+
+(* Prometheus exposition-format escaping for label values: backslash,
+   double quote and newline. *)
+let escape_value buf v =
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v
+
+let encode name labels =
+  match canonical labels with
+  | [] -> name
+  | labels ->
+      let buf = Buffer.create (String.length name + 16) in
+      Buffer.add_string buf name;
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          escape_value buf v;
+          Buffer.add_char buf '"')
+        labels;
+      Buffer.add_char buf '}';
+      Buffer.contents buf
+
+exception Malformed of string
+
+let fail s = raise (Malformed s)
+
+(* Parse the [k="v",...] body of an encoded name. *)
+let parse_body s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let labels = ref [] in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let key () =
+    let start = !pos in
+    while (match peek () with Some ('=' | ',' | '}') | None -> false | _ -> true) do
+      incr pos
+    done;
+    String.sub s start (!pos - start)
+  in
+  let value () =
+    if peek () <> Some '"' then fail "expected opening quote";
+    incr pos;
+    let buf = Buffer.create 8 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated label value"
+      | Some '"' -> incr pos
+      | Some '\\' -> (
+          incr pos;
+          match peek () with
+          | Some '\\' -> incr pos; Buffer.add_char buf '\\'; loop ()
+          | Some '"' -> incr pos; Buffer.add_char buf '"'; loop ()
+          | Some 'n' -> incr pos; Buffer.add_char buf '\n'; loop ()
+          | _ -> fail "bad escape in label value")
+      | Some c ->
+          incr pos;
+          Buffer.add_char buf c;
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let rec fields () =
+    let k = key () in
+    if k = "" then fail "empty label key";
+    if peek () <> Some '=' then fail "expected '='";
+    incr pos;
+    let v = value () in
+    labels := (k, v) :: !labels;
+    match peek () with
+    | Some ',' ->
+        incr pos;
+        fields ()
+    | None -> ()
+    | Some c -> fail (Printf.sprintf "unexpected %C" c)
+  in
+  if n > 0 then fields ();
+  List.rev !labels
+
+let split encoded =
+  match String.index_opt encoded '{' with
+  | None -> (encoded, [])
+  | Some i ->
+      let n = String.length encoded in
+      if encoded.[n - 1] <> '}' then fail "missing closing brace";
+      let name = String.sub encoded 0 i in
+      let body = String.sub encoded (i + 1) (n - i - 2) in
+      (name, parse_body body)

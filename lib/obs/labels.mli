@@ -1,0 +1,29 @@
+(** Metric labels: key/value dimensions ([worker="3"], [study="tcp"])
+    attached to a metric name.
+
+    The registry keeps labelled metrics under an encoded name —
+    [name{k="v",...}] with keys sorted and values escaped in the
+    Prometheus exposition style — so a labelled handle costs exactly
+    as much as a plain one after creation. Exporters that need the
+    structure back (OpenMetrics) recover it with {!split}. *)
+
+type t = (string * string) list
+
+val canonical : t -> t
+(** Stable-sort by key. *)
+
+val escape_value : Buffer.t -> string -> unit
+(** Append a label value with backslash, double quote and newline
+    escaped (Prometheus exposition style). *)
+
+val encode : string -> t -> string
+(** [encode name labels] is [name] when [labels] is empty, otherwise
+    [name{k="v",...}] with keys sorted and values escaped (backslash,
+    double quote and newline, Prometheus-style). *)
+
+exception Malformed of string
+
+val split : string -> string * t
+(** Inverse of {!encode}: recover base name and labels from an encoded
+    name. Names without [{] split to [(name, [])]. Raises {!Malformed}
+    on an unparseable label block. *)

@@ -107,6 +107,16 @@ let histogram t name =
       Hashtbl.add t.tbl name (Hist h);
       h
 
+(* Labelled variants: the label set is folded into the registry key
+   ([name{k="v",...}], keys sorted) at handle-creation time, so after
+   creation a labelled metric is indistinguishable from a plain one —
+   one memory write on the hot path. Exporters that need the structure
+   back use [Labels.split]. *)
+
+let counter_l t name labels = counter t (Labels.encode name labels)
+let gauge_l t name labels = gauge t (Labels.encode name labels)
+let histogram_l t name labels = histogram t (Labels.encode name labels)
+
 let inc ?(by = 1) r = r := !r + by
 let set g v = g := v
 
@@ -125,6 +135,37 @@ let reset t =
           h.minv <- infinity;
           h.maxv <- neg_infinity)
     t.tbl
+
+(* Structural snapshot for exporters (the OpenMetrics renderer): every
+   metric under its registry name (labels still encoded), histograms
+   with their non-empty buckets. *)
+
+type hist_view = {
+  v_count : int;
+  v_sum : float;
+  v_buckets : (float * int) list; (* (upper bound, count), non-empty only *)
+}
+
+type view = V_counter of int | V_gauge of float | V_hist of hist_view
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name m acc ->
+      let view =
+        match m with
+        | Counter r -> V_counter !r
+        | Gauge r -> V_gauge !r
+        | Hist h ->
+            let buckets = ref [] in
+            for i = nbuckets - 1 downto 0 do
+              if h.counts.(i) > 0 then
+                buckets := (bucket_upper i, h.counts.(i)) :: !buckets
+            done;
+            V_hist { v_count = h.count; v_sum = h.sum; v_buckets = !buckets }
+      in
+      (name, view) :: acc)
+    t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let histogram_json h =
   Jsonx.Obj
@@ -164,8 +205,4 @@ let to_json t =
 
 let to_json_string t = Jsonx.to_string (to_json t)
 
-let write_file t path =
-  let oc = open_out path in
-  output_string oc (to_json_string t);
-  output_char oc '\n';
-  close_out oc
+let write_file t path = Atomic_file.write ~path (to_json_string t ^ "\n")

@@ -17,6 +17,13 @@ val default : t
 val counter : t -> string -> int ref
 val gauge : t -> string -> float ref
 
+val counter_l : t -> string -> Labels.t -> int ref
+(** Labelled counter: registered under [Labels.encode name labels]
+    ([name{k="v",...}]), so distinct label sets are distinct metrics
+    while the hot-path cost stays one memory write. *)
+
+val gauge_l : t -> string -> Labels.t -> float ref
+
 val inc : ?by:int -> int ref -> unit
 val set : float ref -> float -> unit
 
@@ -25,6 +32,7 @@ val set : float ref -> float -> unit
 type histogram
 
 val histogram : t -> string -> histogram
+val histogram_l : t -> string -> Labels.t -> histogram
 
 val observe : histogram -> float -> unit
 val observe_ns : histogram -> int64 -> unit
@@ -56,4 +64,25 @@ val to_json : t -> Jsonx.t
 val to_json_string : t -> string
 
 val write_file : t -> string -> unit
-(** Write {!to_json_string} (plus newline) to a file. *)
+(** Atomically write {!to_json_string} (plus newline) to a file
+    (temp-file + rename, the checkpoint discipline). *)
+
+(** {2 Exporter view}
+
+    A structural snapshot for renderers that need more than JSON — the
+    OpenMetrics exporter reads histogram buckets through it. Names are
+    registry names, labels still encoded ({!Labels.split} recovers
+    them). *)
+
+type hist_view = {
+  v_count : int;
+  v_sum : float;
+  v_buckets : (float * int) list;
+      (** (bucket upper bound, per-bucket count), non-empty buckets
+          only, ascending *)
+}
+
+type view = V_counter of int | V_gauge of float | V_hist of hist_view
+
+val snapshot : t -> (string * view) list
+(** Every metric, name-sorted. *)

@@ -1,0 +1,109 @@
+(* OpenMetrics / Prometheus text exposition for the metrics registry.
+
+   Registry names ([exec.worker.runs{worker="3"}]) map onto the
+   exposition grammar: the base name is mangled into
+   [prognosis_exec_worker_runs] (non-alphanumerics become
+   underscores), labels are recovered with [Labels.split], counters
+   gain the conventional [_total] suffix, and histograms expand into
+   cumulative [_bucket{le=...}] samples plus [_sum]/[_count]. The
+   output ends with the [# EOF] terminator the OpenMetrics spec
+   requires. *)
+
+let metric_name name =
+  let buf = Buffer.create (String.length name + 10) in
+  Buffer.add_string buf "prognosis_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+(* Sample values and [le] bounds. Shortest reasonable decimal: [%.12g]
+   round-trips every value the registry produces (counts, nanosecond
+   sums, log-scale bucket bounds). *)
+let number_repr f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let add_labels buf labels =
+  match labels with
+  | [] -> ()
+  | labels ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          Labels.escape_value buf v;
+          Buffer.add_char buf '"')
+        labels;
+      Buffer.add_char buf '}'
+
+let add_sample buf name labels value =
+  Buffer.add_string buf name;
+  add_labels buf labels;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (number_repr value);
+  Buffer.add_char buf '\n'
+
+let type_line buf family kind =
+  Buffer.add_string buf "# TYPE ";
+  Buffer.add_string buf family;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf kind;
+  Buffer.add_char buf '\n'
+
+let kind_of = function
+  | Metrics.V_counter _ -> "counter"
+  | Metrics.V_gauge _ -> "gauge"
+  | Metrics.V_hist _ -> "histogram"
+
+let render registry =
+  let buf = Buffer.create 1024 in
+  let entries =
+    List.map
+      (fun (encoded, view) ->
+        let base, labels = Labels.split encoded in
+        (metric_name base, labels, view))
+      (Metrics.snapshot registry)
+  in
+  (* snapshot is sorted by encoded name, so label sets of one family
+     are consecutive; emit one # TYPE line per family. *)
+  let last_family = ref "" in
+  List.iter
+    (fun (family, labels, view) ->
+      if family <> !last_family then begin
+        last_family := family;
+        type_line buf family (kind_of view)
+      end;
+      match view with
+      | Metrics.V_counter n ->
+          add_sample buf (family ^ "_total") labels (float_of_int n)
+      | Metrics.V_gauge v -> add_sample buf family labels v
+      | Metrics.V_hist h ->
+          let cum = ref 0 in
+          List.iter
+            (fun (upper, count) ->
+              cum := !cum + count;
+              add_sample buf (family ^ "_bucket")
+                (labels @ [ ("le", number_repr upper) ])
+                (float_of_int !cum))
+            h.Metrics.v_buckets;
+          add_sample buf (family ^ "_bucket")
+            (labels @ [ ("le", "+Inf") ])
+            (float_of_int h.Metrics.v_count);
+          add_sample buf (family ^ "_sum") labels h.Metrics.v_sum;
+          add_sample buf (family ^ "_count") labels
+            (float_of_int h.Metrics.v_count))
+    entries;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+let write_file registry path = Atomic_file.write ~path (render registry)

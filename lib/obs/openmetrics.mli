@@ -1,0 +1,19 @@
+(** OpenMetrics / Prometheus text exposition of a metrics registry.
+
+    Name mapping: the registry name is mangled (non-alphanumerics to
+    underscores) and prefixed, so [exec.worker.runs] becomes
+    [prognosis_exec_worker_runs]; labels encoded by {!Labels.encode}
+    are recovered and rendered in the exposition syntax. Counters get
+    a [_total] suffix; histograms expand into cumulative
+    [_bucket{le=...}] samples (non-empty buckets plus [+Inf]) and
+    [_sum]/[_count]; each family is preceded by one [# TYPE] line and
+    the output ends with [# EOF]. *)
+
+val metric_name : string -> string
+(** Mangle a registry base name into an exposition metric name.
+    Exposed for tests. *)
+
+val render : Metrics.t -> string
+
+val write_file : Metrics.t -> string -> unit
+(** Atomically write {!render} output (temp-file + rename). *)

@@ -1,0 +1,91 @@
+(* Diff two machine-readable reports (prognosis.report/1, or the
+   prognosis.bench/* snapshots) as flat metric maps.
+
+   Each JSON document is flattened into dotted numeric paths
+   ([results.tcp:ttt.membership_queries],
+   [benchmarks_ns_per_run.E1_learn_tcp_ttt]); list elements are keyed
+   by their "subject" (plus "algorithm") fields when present, so two
+   reports with re-ordered result lists still align, and by index
+   otherwise. The diff is the union of paths with the value on each
+   side; a regression gate then flags watched paths whose value grew
+   beyond a threshold. *)
+
+type delta = { path : string; a : float option; b : float option }
+
+let element_key j i =
+  let str k = Option.bind (Jsonx.member k j) Jsonx.to_string_opt in
+  match str "subject" with
+  | Some s -> (
+      match str "algorithm" with Some a -> s ^ ":" ^ a | None -> s)
+  | None -> string_of_int i
+
+let flatten json =
+  let out = ref [] in
+  let join prefix k = if prefix = "" then k else prefix ^ "." ^ k in
+  let rec go prefix j =
+    match j with
+    | Jsonx.Int n -> out := (prefix, float_of_int n) :: !out
+    | Jsonx.Float f -> out := (prefix, f) :: !out
+    | Jsonx.Obj fields -> List.iter (fun (k, v) -> go (join prefix k) v) fields
+    | Jsonx.List items ->
+        List.iteri (fun i item -> go (join prefix (element_key item i)) item) items
+    | Jsonx.Null | Jsonx.Bool _ | Jsonx.String _ -> ()
+  in
+  go "" json;
+  List.rev !out
+
+let diff a b =
+  let fa = flatten a and fb = flatten b in
+  let paths = Hashtbl.create 64 in
+  let note side (path, v) =
+    let cur =
+      Option.value ~default:(None, None) (Hashtbl.find_opt paths path)
+    in
+    Hashtbl.replace paths path
+      (match side with `A -> (Some v, snd cur) | `B -> (fst cur, Some v))
+  in
+  List.iter (note `A) fa;
+  List.iter (note `B) fb;
+  Hashtbl.fold (fun path (a, b) acc -> { path; a; b } :: acc) paths []
+  |> List.sort (fun x y -> compare x.path y.path)
+
+let changed d =
+  match (d.a, d.b) with
+  | Some a, Some b -> a <> b
+  | None, None -> false
+  | _ -> true
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
+
+let last_segment path =
+  match String.rindex_opt path '.' with
+  | None -> path
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+
+(* Paths where "bigger means worse": benchmark timings, and the query
+   /reset/step effort counters of a learning run. Baseline echoes and
+   saved-count bookkeeping inside a report are excluded — a resumed
+   run legitimately carries larger cumulative baselines. *)
+let default_watch path =
+  (not (contains ~sub:"baseline" path))
+  && (not (contains ~sub:"saved" path))
+  && (contains ~sub:"benchmarks_ns_per_run" path
+     ||
+     match last_segment path with
+     | "membership_queries" | "membership_symbols" | "resets" | "steps"
+     | "test_words" ->
+         true
+     | _ -> false)
+
+let regressions ?(threshold = 0.10) ?(watch = default_watch) deltas =
+  List.filter
+    (fun d ->
+      watch d.path
+      &&
+      match (d.a, d.b) with
+      | Some a, Some b -> b > a *. (1.0 +. threshold) +. 1e-9
+      | _ -> false)
+    deltas

@@ -1,0 +1,34 @@
+(** Diff machine-readable reports ([prognosis.report/1],
+    [prognosis.bench/*]) as flat metric maps, with a regression gate.
+
+    Documents flatten into dotted numeric paths; list elements align
+    by their ["subject"] (plus ["algorithm"]) fields when present so
+    re-ordered result lists still compare, by index otherwise.
+    Non-numeric leaves are ignored. *)
+
+type delta = {
+  path : string;
+  a : float option;  (** value in the first (baseline) report *)
+  b : float option;  (** value in the second (candidate) report *)
+}
+
+val flatten : Jsonx.t -> (string * float) list
+(** Numeric leaves as (dotted path, value), document order. *)
+
+val diff : Jsonx.t -> Jsonx.t -> delta list
+(** Union of both documents' paths, sorted by path. *)
+
+val changed : delta -> bool
+(** The two sides differ (including one-sided paths). *)
+
+val default_watch : string -> bool
+(** The paths the regression gate watches by default: benchmark
+    timings ([benchmarks_ns_per_run]) and learning-effort counters
+    (membership_queries, membership_symbols, resets, steps,
+    test_words), excluding baseline echoes and saved-count
+    bookkeeping. *)
+
+val regressions :
+  ?threshold:float -> ?watch:(string -> bool) -> delta list -> delta list
+(** Watched paths present on both sides whose value grew by more than
+    [threshold] (default 0.10, i.e. 10%). *)

@@ -1,0 +1,75 @@
+(* Flight recorder: a bounded in-memory ring of the most recent trace
+   records. Kept alongside (or instead of) a file sink so that a run
+   which crashes, is killed, or exhausts its query budget still leaves
+   its last moments on disk — the dump is re-stamped with a flight
+   meta header and written atomically, so a partially-written
+   flight.jsonl is never observed. *)
+
+type t = {
+  cap : int;
+  buf : Jsonx.t array; (* Jsonx.Null marks an empty slot *)
+  mutable next : int; (* next write position *)
+  mutable len : int; (* live records, <= cap *)
+  mutable dropped : int; (* records evicted since creation *)
+}
+
+let default_capacity = 512
+
+let create ?(capacity = default_capacity) () =
+  let cap = max 1 capacity in
+  { cap; buf = Array.make cap Jsonx.Null; next = 0; len = 0; dropped = 0 }
+
+let capacity t = t.cap
+let dropped t = t.dropped
+
+let is_meta j =
+  match Jsonx.member "type" j with
+  | Some (Jsonx.String "meta") -> true
+  | _ -> false
+
+let push t j =
+  (* stream meta headers are re-stamped on dump, not buffered *)
+  if not (is_meta j) then begin
+    if t.len = t.cap then t.dropped <- t.dropped + 1 else t.len <- t.len + 1;
+    t.buf.(t.next) <- j;
+    t.next <- (t.next + 1) mod t.cap
+  end
+
+let records t =
+  let out = ref [] in
+  for i = t.len - 1 downto 0 do
+    (* oldest record sits [len] slots behind the write position *)
+    let idx = (t.next - t.len + i + (2 * t.cap)) mod t.cap in
+    out := t.buf.(idx) :: !out
+  done;
+  !out
+
+let sink t = Trace.Sink.make (push t)
+
+let meta t =
+  match Trace.meta_record () with
+  | Jsonx.Obj fields ->
+      Jsonx.Obj
+        (fields
+        @ [
+            ("flight", Jsonx.Bool true);
+            ("capacity", Jsonx.Int t.cap);
+            ("dropped", Jsonx.Int t.dropped);
+          ])
+  | j -> j
+
+let dump t ~path =
+  let lines = List.map Jsonx.to_string (meta t :: records t) in
+  Atomic_file.write_lines ~path lines
+
+(* Dumping must never raise out of an at_exit or signal context. *)
+let dump_quiet t ~path = try dump t ~path with _ -> ()
+
+let install_flight ~path t =
+  at_exit (fun () -> dump_quiet t ~path);
+  (* Fatal signals bypass at_exit unless converted into an exit: the
+     handler calls [Stdlib.exit] (with the conventional 128+signum
+     code), which runs the dump registered above. *)
+  let handle code = Sys.Signal_handle (fun _ -> Stdlib.exit code) in
+  (try Sys.set_signal Sys.sigterm (handle 143) with Invalid_argument _ -> ());
+  try Sys.set_signal Sys.sigint (handle 130) with Invalid_argument _ -> ()

@@ -1,0 +1,38 @@
+(** Flight recorder: a bounded ring of the most recent trace records.
+
+    Install {!sink} (alone, or teed with a file sink via
+    {!Trace.Sink.tee}) and call {!install_flight} to guarantee that a
+    crashed, killed (SIGTERM/SIGINT) or budget-exhausted run leaves a
+    parseable [flight.jsonl] holding its last [capacity] records. The
+    dump is atomic (temp-file + rename) and opens with a flight meta
+    header: [{"type":"meta","schema":"prognosis.trace/1",...,
+    "flight":true,"capacity":N,"dropped":K}]. Stream meta headers
+    arriving through the sink are not buffered — the dump re-stamps
+    its own. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring holding the last [capacity] (default 512, min 1) records. *)
+
+val sink : t -> Trace.sink
+(** A trace sink that appends into the ring, evicting the oldest
+    record once full. [flush]/[close] are no-ops: the ring's contents
+    only reach disk through {!dump}. *)
+
+val records : t -> Jsonx.t list
+(** Buffered records, oldest first. *)
+
+val capacity : t -> int
+
+val dropped : t -> int
+(** Records evicted since creation. *)
+
+val dump : t -> path:string -> unit
+(** Atomically write the flight meta header plus {!records} to
+    [path], one JSON object per line. *)
+
+val install_flight : path:string -> t -> unit
+(** Register an [at_exit] dump to [path] (errors suppressed), and
+    convert SIGTERM/SIGINT into [exit 143]/[exit 130] so those paths
+    dump too. *)

@@ -1,0 +1,209 @@
+(* Reconstruct and analyze the span tree from a trace stream.
+
+   The sink writes span records when they close, so children precede
+   parents on disk; ids are allocated in creation order and each
+   record names its parent. Two passes rebuild the tree: collect every
+   node by id, then link children (a record whose parent never
+   appears, e.g. because the run died before the parent closed,
+   becomes a root). *)
+
+type kind = Span | Event
+
+type node = {
+  id : int;
+  name : string;
+  kind : kind;
+  start_ns : int; (* events: their t_ns *)
+  dur_ns : int; (* events: 0 *)
+  attrs : (string * Jsonx.t) list;
+  mutable children : node list;
+}
+
+let int_field k j = Option.bind (Jsonx.member k j) Jsonx.to_int_opt
+
+let attrs_of j =
+  match Jsonx.member "attrs" j with Some (Jsonx.Obj fields) -> fields | _ -> []
+
+let node_of_record j =
+  let open Jsonx in
+  match (member "type" j, member "name" j, member "id" j) with
+  | Some (String "span"), Some (String name), Some (Int id) ->
+      let start_ns = Option.value ~default:0 (int_field "start_ns" j) in
+      let dur_ns = Option.value ~default:0 (int_field "dur_ns" j) in
+      Some
+        ( { id; name; kind = Span; start_ns; dur_ns; attrs = attrs_of j; children = [] },
+          int_field "parent" j )
+  | Some (String "event"), Some (String name), Some (Int id) ->
+      let t_ns = Option.value ~default:0 (int_field "t_ns" j) in
+      Some
+        ( {
+            id;
+            name;
+            kind = Event;
+            start_ns = t_ns;
+            dur_ns = 0;
+            attrs = attrs_of j;
+            children = [];
+          },
+          int_field "parent" j )
+  | _ -> None (* meta records, malformed lines *)
+
+let of_records records =
+  let nodes = Hashtbl.create 64 in
+  let parsed =
+    List.filter_map
+      (fun j ->
+        match node_of_record j with
+        | Some (n, parent) ->
+            Hashtbl.replace nodes n.id n;
+            Some (n, parent)
+        | None -> None)
+      records
+  in
+  let roots = ref [] in
+  List.iter
+    (fun (n, parent) ->
+      match parent with
+      | Some p when Hashtbl.mem nodes p ->
+          let pn = Hashtbl.find nodes p in
+          pn.children <- n :: pn.children
+      | _ -> roots := n :: !roots)
+    parsed;
+  let by_id = List.sort (fun a b -> compare a.id b.id) in
+  Hashtbl.iter (fun _ n -> n.children <- by_id n.children) nodes;
+  by_id !roots
+
+let rec iter f n =
+  f n;
+  List.iter (iter f) n.children
+
+let spans roots =
+  let out = ref [] in
+  List.iter (iter (fun n -> if n.kind = Span then out := n :: !out)) roots;
+  List.rev !out
+
+(* Critical path: from a root, repeatedly descend into the
+   longest-duration child span — the chain the run's wall clock
+   actually followed. *)
+let critical_path root =
+  let rec go n acc =
+    match List.filter (fun c -> c.kind = Span) n.children with
+    | [] -> List.rev (n :: acc)
+    | c :: cs ->
+        let widest =
+          List.fold_left (fun a c -> if c.dur_ns > a.dur_ns then c else a) c cs
+        in
+        go widest (n :: acc)
+  in
+  go root []
+
+let top_slowest ?name ~k roots =
+  spans roots
+  |> List.filter (fun n -> match name with None -> true | Some s -> n.name = s)
+  |> List.sort (fun a b -> compare b.dur_ns a.dur_ns)
+  |> List.filteri (fun i _ -> i < k)
+
+(* Phase attribution: a span may carry a ("phase", String p)
+   attribute (learning rounds, eq-oracle queries, checkpoint saves).
+   Each phased span contributes its *exclusive* time — duration minus
+   the time covered by phased descendants — so nesting never double
+   counts. *)
+
+let phase_of n =
+  match List.assoc_opt "phase" n.attrs with
+  | Some (Jsonx.String p) -> Some p
+  | _ -> None
+
+let rec covered n =
+  if phase_of n <> None then n.dur_ns
+  else List.fold_left (fun acc c -> acc + covered c) 0 n.children
+
+let phase_breakdown roots =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (iter (fun n ->
+         match phase_of n with
+         | Some p ->
+             let inner =
+               List.fold_left (fun acc c -> acc + covered c) 0 n.children
+             in
+             let prev = Option.value ~default:0 (Hashtbl.find_opt tbl p) in
+             Hashtbl.replace tbl p (prev + max 0 (n.dur_ns - inner))
+         | None -> ()))
+    roots;
+  Hashtbl.fold (fun p ns acc -> (p, ns) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+(* --- aggregated rendering --- *)
+
+(* Sibling nodes sharing a name collapse into one line with a count
+   and a summed duration, so a 40-round learn renders as one
+   [learner.round] line, not forty. *)
+type agg = {
+  a_name : string;
+  a_kind : kind;
+  a_count : int;
+  a_total_ns : int;
+  a_children : agg list;
+}
+
+let rec aggregate nodes =
+  let order = ref [] in
+  let groups : (string * kind, (int * int) ref * node list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun n ->
+      let key = (n.name, n.kind) in
+      let stats, kids =
+        match Hashtbl.find_opt groups key with
+        | Some g -> g
+        | None ->
+            let g = (ref (0, 0), ref []) in
+            Hashtbl.add groups key g;
+            order := key :: !order;
+            g
+      in
+      let count, total = !stats in
+      stats := (count + 1, total + n.dur_ns);
+      kids := List.rev_append n.children !kids)
+    nodes;
+  List.rev_map
+    (fun key ->
+      let stats, kids = Hashtbl.find groups key in
+      let count, total = !stats in
+      let name, kind = key in
+      {
+        a_name = name;
+        a_kind = kind;
+        a_count = count;
+        a_total_ns = total;
+        a_children = aggregate (List.rev !kids);
+      })
+    !order
+
+let pp_ns ns =
+  let f = float_of_int ns in
+  if ns < 1_000 then Printf.sprintf "%dns" ns
+  else if ns < 1_000_000 then Printf.sprintf "%.1fus" (f /. 1e3)
+  else if ns < 1_000_000_000 then Printf.sprintf "%.1fms" (f /. 1e6)
+  else Printf.sprintf "%.3fs" (f /. 1e9)
+
+let render_tree ?(max_depth = max_int) roots =
+  let buf = Buffer.create 512 in
+  let rec go depth a =
+    if depth <= max_depth then begin
+      Buffer.add_string buf (String.make (2 * depth) ' ');
+      (match a.a_kind with
+      | Span ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s  x%d  %s\n" a.a_name a.a_count
+               (pp_ns a.a_total_ns))
+      | Event ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s  x%d  (event)\n" a.a_name a.a_count));
+      List.iter (go (depth + 1)) a.a_children
+    end
+  in
+  List.iter (go 0) (aggregate roots);
+  Buffer.contents buf

@@ -1,0 +1,61 @@
+(** Span-tree reconstruction and analysis over trace records.
+
+    Feed it the parsed JSONL records of a trace stream (meta records
+    and malformed lines are skipped); it rebuilds the span/event tree
+    from the [id]/[parent] fields and answers the questions the
+    [prognosis trace] subcommand asks: where did the wall clock go
+    (critical path), which membership queries were slowest, and how
+    does time split across phases. *)
+
+type kind = Span | Event
+
+type node = {
+  id : int;
+  name : string;
+  kind : kind;
+  start_ns : int;  (** for events, their [t_ns] *)
+  dur_ns : int;  (** for events, [0] *)
+  attrs : (string * Jsonx.t) list;
+  mutable children : node list;  (** sorted by id (creation order) *)
+}
+
+val of_records : Jsonx.t list -> node list
+(** Build the forest. A node whose parent id never appears in the
+    stream (the run died before the parent closed) becomes a root.
+    Roots sorted by id. *)
+
+val spans : node list -> node list
+(** Every span node in the forest, pre-order. *)
+
+val critical_path : node -> node list
+(** Root-to-leaf chain following the longest-duration child span at
+    each step. *)
+
+val top_slowest : ?name:string -> k:int -> node list -> node list
+(** The [k] longest spans (optionally only those named [name]),
+    descending by duration. *)
+
+val phase_breakdown : node list -> (string * int) list
+(** Exclusive nanoseconds per ["phase"] attribute value, descending.
+    A phased span contributes its duration minus the time covered by
+    phased descendants, so nesting never double counts. *)
+
+(** {2 Rendering} *)
+
+type agg = {
+  a_name : string;
+  a_kind : kind;
+  a_count : int;
+  a_total_ns : int;
+  a_children : agg list;
+}
+
+val aggregate : node list -> agg list
+(** Collapse sibling nodes sharing a name into one aggregate (count +
+    summed duration), recursively; first-appearance order. *)
+
+val pp_ns : int -> string
+(** Human duration: [850ns], [12.3us], [4.0ms], [1.234s]. *)
+
+val render_tree : ?max_depth:int -> node list -> string
+(** Aggregated tree, two-space indented, one line per aggregate. *)

@@ -28,7 +28,33 @@ module Sink = struct
     let records = ref [] in
     ( { emit = (fun j -> records := j :: !records); flush = ignore; close = ignore },
       fun () -> List.rev !records )
+
+  let tee a b =
+    {
+      emit =
+        (fun j ->
+          a.emit j;
+          b.emit j);
+      flush =
+        (fun () ->
+          a.flush ();
+          b.flush ());
+      close =
+        (fun () ->
+          a.close ();
+          b.close ());
+    }
 end
+
+let schema = "prognosis.trace/1"
+
+let meta_record () =
+  Jsonx.Obj
+    [
+      ("type", Jsonx.String "meta");
+      ("schema", Jsonx.String schema);
+      ("clock", Jsonx.String "monotonic_ns");
+    ]
 
 type span = {
   id : int;
@@ -44,11 +70,23 @@ let seq = ref 0
 
 let enabled () = !sink <> None
 
+(* Early exits (a --query-budget abort, an uncaught exception) must
+   not truncate a JSONL stream mid-record, so the first set_sink
+   registers a process-wide flush. The sink itself is not closed here:
+   a normal shutdown path still owns that. *)
+let exit_flush_registered = ref false
+
 let set_sink s =
   (match !sink with Some old -> old.flush (); old.close () | None -> ());
   sink := Some s;
   stack := [];
-  seq := 0
+  seq := 0;
+  if not !exit_flush_registered then begin
+    exit_flush_registered := true;
+    at_exit (fun () -> match !sink with Some s -> s.flush () | None -> ())
+  end;
+  (* every trace stream opens with a versioned meta record *)
+  s.emit (meta_record ())
 
 let unset_sink () =
   (match !sink with Some s -> s.flush (); s.close () | None -> ());

@@ -9,6 +9,8 @@
     carries its [parent] id, which recovers nesting and ordering.
 
     Record schema (one JSON object per line):
+    - meta (first record of every stream):
+      [{"type":"meta","schema":"prognosis.trace/1","clock":"monotonic_ns"}]
     - spans: [{"type":"span","name":..,"id":..,"parent":..|null,
       "start_ns":..,"end_ns":..,"dur_ns":..,"attrs":{..}|null}]
     - events: [{"type":"event","name":..,"id":..,"parent":..|null,
@@ -31,11 +33,26 @@ module Sink : sig
   val memory : unit -> sink * (unit -> Jsonx.t list)
   (** In-memory sink for tests; the second component returns the
       records emitted so far, in emission order. *)
+
+  val tee : sink -> sink -> sink
+  (** Duplicate every record (and flush/close) to both sinks, in
+      order. Used to keep a flight-recorder ring alongside a file
+      sink. *)
 end
 
+val schema : string
+(** ["prognosis.trace/1"] — the stream version stamped into the meta
+    record. *)
+
+val meta_record : unit -> Jsonx.t
+(** The versioned header record; exposed for sinks (the flight
+    recorder) that re-emit their own header on dump. *)
+
 val set_sink : sink -> unit
-(** Install the global sink (closing any previous one) and reset span
-    ids. *)
+(** Install the global sink (closing any previous one), reset span
+    ids, and emit the {!meta_record} header as the stream's first
+    record. The first call also registers an [at_exit] flush so early
+    process exits don't truncate the stream mid-record. *)
 
 val unset_sink : unit -> unit
 (** Flush, close and remove the global sink. *)

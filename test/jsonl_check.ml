@@ -1,5 +1,6 @@
-(* Validates a JSONL trace file: every line must be a JSON object
-   carrying the span/event schema ("type", "name", and the timing
+(* Validates a JSONL trace file: the first line must be the versioned
+   prognosis.trace/1 meta header, and every line must be a JSON object
+   carrying the meta/span/event schema ("type", "name", and the timing
    fields for its kind). Prints a one-line summary so cram output is
    stable, exits 1 on the first violation. *)
 
@@ -21,13 +22,23 @@ let check_line n line =
       let str name =
         Jsonx.member name json |> Option.map Jsonx.to_string_opt |> Option.join
       in
-      (match str "name" with
-      | Some _ -> ()
-      | None -> fail n "missing \"name\"");
       match str "type" with
-      | Some "span" ->
-          List.iter (require_int n json) [ "id"; "start_ns"; "end_ns"; "dur_ns" ]
-      | Some "event" -> List.iter (require_int n json) [ "id"; "t_ns" ]
+      | Some "meta" -> (
+          match str "schema" with
+          | Some s when s = Prognosis_obs.Trace.schema -> ()
+          | Some s -> fail n (Printf.sprintf "unknown trace schema %S" s)
+          | None -> fail n "meta record missing \"schema\"")
+      | Some (("span" | "event") as t) -> (
+          (match str "name" with
+          | Some _ -> ()
+          | None -> fail n "missing \"name\"");
+          if n = 1 then
+            fail 1 "first record is not the prognosis.trace/1 meta header";
+          match t with
+          | "span" ->
+              List.iter (require_int n json)
+                [ "id"; "start_ns"; "end_ns"; "dur_ns" ]
+          | _ -> List.iter (require_int n json) [ "id"; "t_ns" ])
       | Some t -> fail n (Printf.sprintf "unknown record type %S" t)
       | None -> fail n "missing \"type\"")
 

@@ -27,3 +27,18 @@ The metrics file is a single machine-readable report:
   m.json
   $ grep -l '"cache.hits"' m.json
   m.json
+
+Per-worker labelled metrics appear in both the JSON report and the
+OpenMetrics exposition for a pooled run:
+
+  $ ../bin/prognosis_cli.exe learn --protocol tcp --workers 4 \
+  >   --metrics-out mw.json --openmetrics mw.prom > /dev/null
+
+  $ grep -o 'exec.worker.runs{worker=\\"3\\"}' mw.json
+  exec.worker.runs{worker=\"3\"}
+
+  $ grep -c '^prognosis_exec_worker_runs{worker=' mw.prom
+  4
+
+  $ tail -1 mw.prom
+  # EOF

@@ -1,0 +1,47 @@
+The report-diff regression gate. A report diffed against itself is
+clean and exits 0:
+
+  $ ../bin/prognosis_cli.exe learn --protocol tcp --metrics-out m.json > /dev/null
+  $ ../bin/prognosis_cli.exe report diff m.json m.json
+  no differences
+  regression gate: ok (threshold 10%)
+
+An injected 30% growth in a watched learning-effort metric trips the
+default 10% gate (exit 1), while neutral metrics (states) and list
+reordering do not:
+
+  $ cat > base.json <<'EOF'
+  > {"reports":[
+  >    {"subject":"quic","algorithm":"lstar","membership_queries":400,"states":4},
+  >    {"subject":"tcp","algorithm":"ttt","membership_queries":1000,"states":6}],
+  >  "benchmarks_ns_per_run":{"E1_learn":1000.0}}
+  > EOF
+  $ cat > cand.json <<'EOF'
+  > {"reports":[
+  >    {"subject":"tcp","algorithm":"ttt","membership_queries":1300,"states":7},
+  >    {"subject":"quic","algorithm":"lstar","membership_queries":400,"states":4}],
+  >  "benchmarks_ns_per_run":{"E1_learn":900.0}}
+  > EOF
+
+  $ ../bin/prognosis_cli.exe report diff base.json cand.json
+  benchmarks_ns_per_run.E1_learn: 1000 -> 900  (-10.0%)
+  reports.tcp:ttt.membership_queries: 1000 -> 1300  (+30.0%)
+  reports.tcp:ttt.states: 6 -> 7  (+16.7%)
+  regression gate: 1 metric(s) regressed beyond 10%
+    REGRESSED reports.tcp:ttt.membership_queries: 1000 -> 1300
+  [1]
+
+A looser threshold lets the same candidate pass:
+
+  $ ../bin/prognosis_cli.exe report diff base.json cand.json --threshold 50
+  benchmarks_ns_per_run.E1_learn: 1000 -> 900  (-10.0%)
+  reports.tcp:ttt.membership_queries: 1000 -> 1300  (+30.0%)
+  reports.tcp:ttt.states: 6 -> 7  (+16.7%)
+  regression gate: ok (threshold 50%)
+
+--all also lists the unchanged paths:
+
+  $ ../bin/prognosis_cli.exe report diff base.json cand.json --threshold 50 --all | head -3
+  benchmarks_ns_per_run.E1_learn: 1000 -> 900  (-10.0%)
+  reports.quic:lstar.membership_queries: 400 -> 400
+  reports.quic:lstar.states: 4 -> 4

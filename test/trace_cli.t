@@ -1,0 +1,62 @@
+Learn a TCP model with tracing enabled, then explain the run with the
+trace analyzer: aggregated span tree, critical path, slowest
+membership queries and per-phase breakdown. Durations, counts and ids
+are timing-dependent, so normalize them; the structure is not.
+
+  $ ../bin/prognosis_cli.exe learn --protocol tcp --trace t.jsonl > /dev/null
+
+  $ ../bin/prognosis_cli.exe trace t.jsonl --depth 3 --top 2 \
+  >   | sed -E -e 's/ *[0-9]+\.?[0-9]*(ns|us|ms|s)\b/ DUR/g' \
+  >            -e 's/x[0-9]+/xN/g' \
+  >            -e 's/\(id [0-9]+\)/(id I)/g' \
+  >            -e 's/len=[0-9]+/len=L/g' \
+  >            -e 's/ *[0-9]+%/ P/g' \
+  >            -e 's/[0-9]+ records/R records/'
+  trace: prognosis.trace/1 (R records)
+  
+  == span tree ==
+  learn  xN DUR
+    learner.round  xN DUR
+      learner.hypothesis  xN DUR
+        oracle.mq  xN DUR
+      learner.eq_query  xN DUR
+        oracle.mq  xN DUR
+        eq.counterexample  xN  (event)
+    learner.refine  xN DUR
+  
+  == critical path ==
+    learn DUR
+    learner.round DUR
+    learner.eq_query DUR
+    oracle.mq DUR
+  
+  == slowest oracle.mq spans ==
+    1. DUR  len=L  (id I)
+    2. DUR  len=L  (id I)
+  
+  == phase breakdown ==
+    eq-oracle DUR P
+    learning DUR P
+
+The flight recorder keeps the last records of a run that dies early.
+Exhaust the query budget (exit 3 without finishing): the at_exit dump
+must still leave a validating trace whose header records the ring
+state, within the ring bound.
+
+  $ ../bin/prognosis_cli.exe learn --protocol tcp --flight f.jsonl \
+  >   --checkpoint ckpt --query-budget 50 > /dev/null 2> /dev/null
+  [3]
+
+  $ ./jsonl_check.exe f.jsonl | sed 's/[0-9][0-9]*/N/'
+  ok: N records
+
+  $ head -1 f.jsonl | grep -o '"flight":true'
+  "flight":true
+
+  $ awk 'END { print (NR <= 513) ? "within ring bound" : "ring overflow: " NR }' f.jsonl
+  within ring bound
+
+The analyzer reads a flight dump like any other trace, flagging it:
+
+  $ ../bin/prognosis_cli.exe trace f.jsonl | head -1 | sed 's/[0-9][0-9]* records/R records/'
+  trace: prognosis.trace/1 (flight dump, R records)
