@@ -880,6 +880,210 @@ let x2_quantitative_models () =
 
 (* --- FIGS: DOT renderings of every learned model (paper App. A) --- *)
 
+(* --- F1: open-world fingerprinting of an endpoint population --- *)
+
+module Library = Prognosis_fingerprint.Library
+module Splitter = Prognosis_fingerprint.Splitter
+module Identify = Prognosis_fingerprint.Identify
+
+let dtls_ttt = lazy (Dtls_study.learn ~seed:4L ())
+
+type f1_endpoint = {
+  f_name : string;
+  f_kind : Persist.kind;
+  f_model : (string, string) Mealy.t;
+  f_learn_queries : int;
+  f_sul : unit -> (string, string) Prognosis_sul.Sul.t;
+}
+
+let tcp_string_model m =
+  Persist.to_string_model ~input_to_string:Prognosis_tcp.Tcp_alphabet.to_string
+    ~output_to_string:Prognosis_tcp.Tcp_alphabet.output_to_string m
+
+let tcp_string_sul ?server_config seed () =
+  Prognosis_sul.Sul.strings ~symbols:Prognosis_tcp.Tcp_alphabet.all
+    ~to_string:Prognosis_tcp.Tcp_alphabet.to_string
+    ~output_to_string:Prognosis_tcp.Tcp_alphabet.output_to_string
+    (Prognosis_tcp.Tcp_adapter.sul ?server_config ~seed ())
+
+let f1_endpoints () =
+  let quic_string_model m =
+    Persist.to_string_model
+      ~input_to_string:Prognosis_quic.Quic_alphabet.to_string
+      ~output_to_string:Prognosis_quic.Quic_alphabet.output_to_string m
+  in
+  let quic_sul profile seed () =
+    Prognosis_sul.Sul.strings ~symbols:Prognosis_quic.Quic_alphabet.all
+      ~to_string:Prognosis_quic.Quic_alphabet.to_string
+      ~output_to_string:Prognosis_quic.Quic_alphabet.output_to_string
+      (Prognosis_quic.Quic_adapter.sul ~profile ~seed ())
+  in
+  let quic name profile (r : Quic_study.result) seed =
+    {
+      f_name = name;
+      f_kind = Persist.Quic_model;
+      f_model = quic_string_model r.Quic_study.model;
+      f_learn_queries = r.Quic_study.report.Report.membership_queries;
+      f_sul = quic_sul profile seed;
+    }
+  in
+  let tcp = Lazy.force tcp_ttt and dtls = Lazy.force dtls_ttt in
+  [
+    {
+      f_name = "tcp";
+      f_kind = Persist.Tcp_model;
+      f_model = tcp_string_model tcp.Tcp_study.model;
+      f_learn_queries = tcp.Tcp_study.report.Report.membership_queries;
+      f_sul = tcp_string_sul 41L;
+    };
+    {
+      f_name = "dtls";
+      f_kind = Persist.Dtls_model;
+      f_model =
+        Persist.to_string_model
+          ~input_to_string:Prognosis_dtls.Dtls_alphabet.to_string
+          ~output_to_string:Prognosis_dtls.Dtls_alphabet.output_to_string
+          dtls.Dtls_study.model;
+      f_learn_queries = dtls.Dtls_study.report.Report.membership_queries;
+      f_sul =
+        (fun () ->
+          Prognosis_sul.Sul.strings ~symbols:Prognosis_dtls.Dtls_alphabet.all
+            ~to_string:Prognosis_dtls.Dtls_alphabet.to_string
+            ~output_to_string:Prognosis_dtls.Dtls_alphabet.output_to_string
+            (Prognosis_dtls.Dtls_adapter.sul ~seed:42L ()));
+    };
+    quic "quic:quiche-like" Profile.quiche_like (Lazy.force quic_quiche) 43L;
+    quic "quic:google-like" Profile.google_like (Lazy.force quic_tolerant) 44L;
+    quic "quic:strict-retry" Profile.strict_retry (Lazy.force quic_strict) 45L;
+  ]
+
+let f1_identify tree sul =
+  let engine = Prognosis_exec.Engine.create ~factory:(fun _ -> sul ()) () in
+  Identify.run ~mq:(Prognosis_exec.Engine.membership engine) tree
+
+let f1_fingerprint () =
+  section "F1"
+    "Open-world fingerprinting: model library + adaptive classification (new)";
+  let module Jsonx = Prognosis_obs.Jsonx in
+  let endpoints = f1_endpoints () in
+  let entries =
+    List.map
+      (fun e -> Library.entry_of_model ~name:e.f_name ~kind:e.f_kind e.f_model)
+      endpoints
+  in
+  let tree_for kind =
+    match
+      Splitter.build
+        (List.filter (fun (e : Library.entry) -> e.Library.kind = kind) entries)
+    with
+    | Ok tree -> tree
+    | Error msg -> failwith ("F1: tree construction failed: " ^ msg)
+  in
+  (* one tree per kind, shared across the population *)
+  let trees =
+    List.map (fun k -> (k, tree_for k)) Persist.all_kinds
+  in
+  let identified =
+    List.map
+      (fun e -> (e, f1_identify (List.assoc e.f_kind trees) e.f_sul))
+      endpoints
+  in
+  let rows =
+    List.map
+      (fun (e, (r : Identify.result)) ->
+        let outcome =
+          match r.Identify.outcome with
+          | Identify.Known entry -> entry.Library.name
+          | Identify.Novel _ -> "NOVEL"
+        in
+        [
+          e.f_name; outcome;
+          string_of_int r.Identify.words_asked;
+          string_of_int e.f_learn_queries;
+          Printf.sprintf "%.1f%%"
+            (100. *. float_of_int r.Identify.words_asked
+            /. float_of_int e.f_learn_queries);
+        ])
+      identified
+  in
+  print_table
+    [ "endpoint"; "identified as"; "id queries"; "full-learn queries"; "cost" ]
+    rows;
+  List.iter
+    (fun (e, (r : Identify.result)) ->
+      match r.Identify.outcome with
+      | Identify.Known entry when entry.Library.name = e.f_name -> ()
+      | _ -> failwith ("F1: endpoint " ^ e.f_name ^ " misidentified"))
+    identified;
+  let total_id =
+    List.fold_left (fun acc (_, r) -> acc + r.Identify.words_asked) 0 identified
+  in
+  let total_learn =
+    List.fold_left (fun acc e -> acc + e.f_learn_queries) 0 endpoints
+  in
+  let ratio = float_of_int total_id /. float_of_int total_learn in
+  Printf.printf
+    "\nidentification: %d membership words for %d endpoints vs %d \
+     full-learning queries (%.1f%% of full learning)\n"
+    total_id (List.length endpoints) total_learn (100. *. ratio);
+  if ratio > 0.10 then
+    failwith "F1: identification cost exceeds 10% of full learning";
+  (* The open-world path: a fault-injected TCP variant absent from the
+     library must come back Novel, get learned in full, and extend the
+     classification tree so the second encounter is cheap. *)
+  let mutated_config =
+    { Prognosis_tcp.Tcp_server.default_config with challenge_acks = false }
+  in
+  let mutated_sul = tcp_string_sul ~server_config:mutated_config 46L in
+  let tcp_tree = List.assoc Persist.Tcp_model trees in
+  let first = f1_identify tcp_tree mutated_sul in
+  (match first.Identify.outcome with
+  | Identify.Novel e ->
+      Printf.printf
+        "\nmutated endpoint (tcp without challenge ACKs): novel at %s, \
+         witness %s\n"
+        e.Identify.stage
+        (String.concat " " e.Identify.word)
+  | Identify.Known entry ->
+      failwith ("F1: mutant misidentified as " ^ entry.Library.name));
+  let mutant =
+    Tcp_study.learn ~seed:46L ~server_config:mutated_config ()
+  in
+  let novel_queries = mutant.Tcp_study.report.Report.membership_queries in
+  let mutant_entry =
+    Library.entry_of_model ~name:"tcp:no-challenge" ~kind:Persist.Tcp_model
+      (tcp_string_model mutant.Tcp_study.model)
+  in
+  let tcp_tree' =
+    match Splitter.insert tcp_tree mutant_entry with
+    | Ok (Splitter.Inserted t) -> t
+    | Ok (Splitter.Duplicate _) -> failwith "F1: mutant collapsed to duplicate"
+    | Error msg -> failwith ("F1: insert failed: " ^ msg)
+  in
+  let second = f1_identify tcp_tree' mutated_sul in
+  (match second.Identify.outcome with
+  | Identify.Known entry when entry.Library.name = "tcp:no-challenge" ->
+      Printf.printf
+        "after full learning (%d queries) + tree extension: re-identified as \
+         %s in %d words\n"
+        novel_queries entry.Library.name second.Identify.words_asked
+  | _ -> failwith "F1: mutant not recognized after library extension");
+  let population = List.length endpoints in
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.String "prognosis.fingerprint-bench/1");
+      ("population", Jsonx.Int population);
+      ("identified", Jsonx.Int population);
+      ("novel_count", Jsonx.Int 1);
+      ( "queries_per_identification",
+        Jsonx.Float (float_of_int total_id /. float_of_int population) );
+      ( "full_learning_queries",
+        Jsonx.Float (float_of_int total_learn /. float_of_int population) );
+      ("query_ratio_pct", Jsonx.Float (100. *. ratio));
+      ("novel_learn_queries", Jsonx.Int novel_queries);
+      ("novel_reidentify_words", Jsonx.Int second.Identify.words_asked);
+    ]
+
 let figs () =
   section "FIGS" "Graphviz renderings of the learned models (paper Fig. 3, App. A)";
   let dir = "figures" in
@@ -1008,7 +1212,7 @@ let benchmarks () =
    objects plus a metrics snapshot), so the perf trajectory is
    trackable across PRs by diffing these files. *)
 
-let write_snapshot bench_rows =
+let write_snapshot ~fingerprint bench_rows =
   let module Jsonx = Prognosis_obs.Jsonx in
   let module Metrics = Prognosis_obs.Metrics in
   let report r = Report.to_json r in
@@ -1061,9 +1265,10 @@ let write_snapshot bench_rows =
   let json =
     Jsonx.Obj
       [
-        ("schema", Jsonx.String "prognosis.bench/2");
+        ("schema", Jsonx.String "prognosis.bench/3");
         ("reports", Jsonx.List reports);
         ("exec", exec_block);
+        ("fingerprint", fingerprint);
         ("benchmarks_ns_per_run", Jsonx.Obj benchmarks);
         ("metrics", Metrics.to_json Metrics.default);
       ]
@@ -1096,7 +1301,8 @@ let () =
   x2_quantitative_models ();
   x3_client_role ();
   x4_interop_matrix ();
+  let fingerprint = f1_fingerprint () in
   figs ();
   let bench_rows = benchmarks () in
-  write_snapshot bench_rows;
+  write_snapshot ~fingerprint bench_rows;
   print_newline ()

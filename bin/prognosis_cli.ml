@@ -1212,13 +1212,399 @@ let report_cmd =
   let doc = "Operations on machine-readable run reports." in
   Cmd.group (Cmd.info "report" ~doc) [ report_diff_cmd ]
 
+(* --- fingerprint: model library + open-world identification --- *)
+
+module Library = Prognosis_fingerprint.Library
+module Splitter = Prognosis_fingerprint.Splitter
+module Identify = Prognosis_fingerprint.Identify
+module Sul = Prognosis_sul.Sul
+
+(* An identifiable subject: a live endpoint the CLI can both probe
+   (engine worker factory) and, on a Novel verdict, learn in full. *)
+type subject = {
+  s_name : string;
+  s_kind : Persist.kind;
+  s_factory : seed:int64 -> workers:int -> int -> (string, string) Sul.t;
+  s_learn :
+    seed:int64 ->
+    algorithm:Learn.algorithm ->
+    exec:Prognosis_exec.Engine.config option ->
+    (string, string) Mealy.t * Report.t;
+}
+
+let seeded_factory make ~seed ~workers =
+  let master = Prognosis_sul.Rng.create seed in
+  let wseeds =
+    Array.map Prognosis_sul.Rng.next64 (Prognosis_sul.Rng.split_n master workers)
+  in
+  fun i -> make wseeds.(i)
+
+let tcp_subject name server_config =
+  let module A = Prognosis_tcp.Tcp_alphabet in
+  let wrap =
+    Sul.strings ~symbols:A.all ~to_string:A.to_string
+      ~output_to_string:A.output_to_string
+  in
+  {
+    s_name = name;
+    s_kind = Persist.Tcp_model;
+    s_factory =
+      (fun ~seed ~workers ->
+        seeded_factory
+          (fun wseed ->
+            wrap (Prognosis_tcp.Tcp_adapter.sul ~server_config ~seed:wseed ()))
+          ~seed ~workers);
+    s_learn =
+      (fun ~seed ~algorithm ~exec ->
+        let r = Tcp_study.learn ~seed ~algorithm ~server_config ?exec () in
+        ( Persist.to_string_model ~input_to_string:A.to_string
+            ~output_to_string:A.output_to_string r.Tcp_study.model,
+          r.Tcp_study.report ));
+  }
+
+let dtls_subject name server_config =
+  let module A = Prognosis_dtls.Dtls_alphabet in
+  let wrap =
+    Sul.strings ~symbols:A.all ~to_string:A.to_string
+      ~output_to_string:A.output_to_string
+  in
+  {
+    s_name = name;
+    s_kind = Persist.Dtls_model;
+    s_factory =
+      (fun ~seed ~workers ->
+        seeded_factory
+          (fun wseed ->
+            wrap (Prognosis_dtls.Dtls_adapter.sul ~server_config ~seed:wseed ()))
+          ~seed ~workers);
+    s_learn =
+      (fun ~seed ~algorithm ~exec ->
+        let r = Dtls_study.learn ~seed ~algorithm ~server_config ?exec () in
+        ( Persist.to_string_model ~input_to_string:A.to_string
+            ~output_to_string:A.output_to_string r.Dtls_study.model,
+          r.Dtls_study.report ));
+  }
+
+let quic_subject name profile =
+  let module A = Prognosis_quic.Quic_alphabet in
+  let wrap =
+    Sul.strings ~symbols:A.all ~to_string:A.to_string
+      ~output_to_string:A.output_to_string
+  in
+  {
+    s_name = name;
+    s_kind = Persist.Quic_model;
+    s_factory =
+      (fun ~seed ~workers ->
+        seeded_factory
+          (fun wseed -> wrap (Prognosis_quic.Quic_adapter.sul ~profile ~seed:wseed ()))
+          ~seed ~workers);
+    s_learn =
+      (fun ~seed ~algorithm ~exec ->
+        let r = Quic_study.learn ~seed ~algorithm ?exec ~profile () in
+        ( Persist.to_string_model ~input_to_string:A.to_string
+            ~output_to_string:A.output_to_string r.Quic_study.model,
+          r.Quic_study.report ));
+  }
+
+let subject_names =
+  [
+    "tcp"; "tcp:persistent"; "tcp:no-challenge"; "dtls"; "dtls:no-cookie";
+    "dtls:lax-ccs"; "quic:<profile>";
+  ]
+
+let subject_of_name name =
+  let module T = Prognosis_tcp.Tcp_server in
+  let module D = Prognosis_dtls.Dtls_server in
+  match name with
+  | "tcp" -> Ok (tcp_subject name T.default_config)
+  | "tcp:persistent" ->
+      Ok (tcp_subject name { T.default_config with T.one_shot = false })
+  | "tcp:no-challenge" ->
+      Ok (tcp_subject name { T.default_config with T.challenge_acks = false })
+  | "dtls" -> Ok (dtls_subject name D.default_config)
+  | "dtls:no-cookie" ->
+      Ok (dtls_subject name { D.default_config with D.require_cookie = false })
+  | "dtls:lax-ccs" ->
+      Ok (dtls_subject name { D.default_config with D.strict_ccs = false })
+  | _ when String.length name > 5 && String.sub name 0 5 = "quic:" ->
+      Result.map
+        (quic_subject name)
+        (profile_of_name (String.sub name 5 (String.length name - 5)))
+  | _ ->
+      Error
+        (Printf.sprintf "unknown subject %S (available: %s)" name
+           (String.concat ", " subject_names))
+
+let library_dir_pos =
+  let doc = "Library directory (holds *.model files plus library.json)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+
+let do_library_build () dir subjects seed algorithm workers batch parallel
+    replicas =
+  mkdir_p dir;
+  let exec = exec_of_flags ~workers ~batch ~parallel ~replicas in
+  List.iter
+    (fun name ->
+      let s = or_die (subject_of_name name) in
+      Format.printf "learning %s...@." s.s_name;
+      let model, report = s.s_learn ~seed ~algorithm ~exec in
+      let entry = Library.entry_of_model ~name:s.s_name ~kind:s.s_kind model in
+      Prognosis_obs.Atomic_file.write
+        ~path:(Filename.concat dir entry.Library.file)
+        entry.Library.text;
+      Format.printf "  %d states, %d membership queries -> %s@."
+        report.Report.states report.Report.membership_queries
+        entry.Library.file)
+    subjects;
+  let lib, notes = or_die (Library.build ~dir) in
+  List.iter (fun n -> Format.printf "note: %s@." n) notes;
+  Format.printf "library %s: %d entr%s@." dir
+    (List.length lib.Library.entries)
+    (if List.length lib.Library.entries = 1 then "y" else "ies")
+
+let do_library_list () dir =
+  let lib = or_die (Library.load ~dir) in
+  List.iter
+    (fun (kind, entries) ->
+      Format.printf "%s:@." (Persist.kind_to_string kind);
+      List.iter
+        (fun (e : Library.entry) ->
+          Format.printf "  %-24s %3d states  %3d transitions  %s@."
+            e.Library.name (Mealy.size e.Library.model)
+            (Mealy.transitions e.Library.model) e.Library.file)
+        entries)
+    (Library.group_by_kind lib);
+  Format.printf "%d entr%s@."
+    (List.length lib.Library.entries)
+    (if List.length lib.Library.entries = 1 then "y" else "ies")
+
+let do_library_inspect () dir =
+  let lib = or_die (Library.load ~dir) in
+  let forest = or_die (Splitter.of_library lib) in
+  List.iter
+    (fun (kind, tree) ->
+      let s = Splitter.stats tree in
+      Format.printf
+        "%s: %d entr%s, tree depth %d, %d separating word(s), longest %d \
+         symbol(s)@."
+        (Persist.kind_to_string kind) s.Splitter.leaves
+        (if s.Splitter.leaves = 1 then "y" else "ies")
+        s.Splitter.depth s.Splitter.internal s.Splitter.max_word_len;
+      Format.printf "@[<v 2>  %a@]@." Splitter.pp tree)
+    forest
+
+let library_build_cmd =
+  let doc =
+    "Scan DIR for prognosis.model/1 files (optionally learning some subjects \
+     first), drop behavioural duplicates, and write the \
+     prognosis.library/1 manifest."
+  in
+  let learn_subjects =
+    let doc =
+      "Learn $(docv) and save its canonical model into the library before \
+       scanning. Repeatable. Subjects: tcp, tcp:persistent, \
+       tcp:no-challenge, dtls, dtls:no-cookie, dtls:lax-ccs, quic:PROFILE."
+    in
+    Arg.(value & opt_all string [] & info [ "learn" ] ~docv:"SUBJECT" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc)
+    Term.(
+      const do_library_build $ verbose $ library_dir_pos $ learn_subjects
+      $ seed $ algorithm $ workers_arg $ batch_arg $ parallel_arg
+      $ replicas_arg)
+
+let library_list_cmd =
+  let doc = "List the entries of a model library, grouped by kind." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const do_library_list $ verbose $ library_dir_pos)
+
+let library_inspect_cmd =
+  let doc =
+    "Show the adaptive classification tree compiled from a library: each \
+     level asks one separating word and branches on the endpoint's output \
+     word."
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc)
+    Term.(const do_library_inspect $ verbose $ library_dir_pos)
+
+let library_cmd =
+  let doc = "Manage fingerprint model libraries (prognosis.library/1)." in
+  Cmd.group
+    (Cmd.info "library" ~doc)
+    [ library_build_cmd; library_list_cmd; library_inspect_cmd ]
+
+let fresh_entry_name lib base =
+  if Library.find lib base = None then base
+  else
+    let rec go i =
+      let candidate = Printf.sprintf "%s-%d" base i in
+      if Library.find lib candidate = None then candidate else go (i + 1)
+    in
+    go 2
+
+let do_identify () dir subject_name name_override seed algorithm workers batch
+    parallel replicas no_extend metrics_out trace_out =
+  ignore batch;
+  let s = or_die (subject_of_name subject_name) in
+  let lib = or_die (Library.load ~dir) in
+  let forest = or_die (Splitter.of_library lib) in
+  let tree =
+    Option.value ~default:(Splitter.Leaf None) (List.assoc_opt s.s_kind forest)
+  in
+  Prognosis_obs.Metrics.reset Prognosis_obs.Metrics.default;
+  let tracing = trace_out <> None in
+  Option.iter
+    (fun path ->
+      try Prognosis_obs.Trace.set_sink (Prognosis_obs.Trace.Sink.jsonl_file path)
+      with Sys_error msg -> or_die (Error ("cannot open trace file: " ^ msg)))
+    trace_out;
+  (* Always drive the endpoint through the query-execution engine:
+     identification gets the cache, batched confirmation suites and
+     (with --replicas) voting for free. *)
+  let config =
+    {
+      Prognosis_exec.Engine.default with
+      Prognosis_exec.Engine.workers;
+      batch = true;
+      parallel;
+      replicas;
+    }
+  in
+  let engine =
+    Prognosis_exec.Engine.create ~config ~factory:(s.s_factory ~seed ~workers) ()
+  in
+  let mq = Prognosis_exec.Engine.membership engine in
+  let result =
+    Fun.protect
+      ~finally:(fun () -> if tracing then Prognosis_obs.Trace.unset_sink ())
+      (fun () ->
+        try Identify.run ~mq tree
+        with Prognosis_sul.Nondet.Nondeterministic_sul msg ->
+          or_die
+            (Error
+               ("nondeterministic endpoint: " ^ msg
+              ^ ". Investigate with `prognosis nondet`.")))
+  in
+  Format.printf "@[<v>%a@]@." Identify.pp result;
+  (match result.Identify.outcome with
+  | Identify.Known entry ->
+      Format.printf "endpoint identified as %s@." entry.Library.name
+  | Identify.Novel _ when no_extend ->
+      Format.printf
+        "novel endpoint — library unchanged (drop --no-extend to learn and \
+         add it)@."
+  | Identify.Novel _ -> (
+      Format.printf "novel endpoint: learning a full model...@.";
+      let exec = exec_of_flags ~workers ~batch:true ~parallel ~replicas in
+      let model, report = s.s_learn ~seed ~algorithm ~exec in
+      Format.printf "learned %d states in %d membership queries@."
+        report.Report.states report.Report.membership_queries;
+      let name =
+        match name_override with
+        | Some n -> n
+        | None -> fresh_entry_name lib s.s_name
+      in
+      match or_die (Library.add lib ~name ~kind:s.s_kind model) with
+      | Library.Added lib' ->
+          Format.printf "library extended: %s (%d entries)@." name
+            (List.length lib'.Library.entries)
+      | Library.Duplicate e ->
+          Format.printf
+            "learned model is behaviourally identical to existing entry %s — \
+             library unchanged@."
+            e.Library.name));
+  match metrics_out with
+  | None -> ()
+  | Some path ->
+      let hits, misses = Prognosis_exec.Engine.cache_stats engine in
+      let states, transitions =
+        match result.Identify.outcome with
+        | Identify.Known e ->
+            (Mealy.size e.Library.model, Mealy.transitions e.Library.model)
+        | Identify.Novel _ -> (0, 0)
+      in
+      let alphabet =
+        match List.filter (fun (e : Library.entry) -> e.Library.kind = s.s_kind) lib.Library.entries with
+        | e :: _ -> Mealy.alphabet_size e.Library.model
+        | [] -> 0
+      in
+      let report =
+        Report.
+          {
+            subject = subject_name;
+            algorithm = "identify";
+            states;
+            transitions;
+            membership_queries = mq.Prognosis_learner.Oracle.stats.membership_queries;
+            membership_symbols = mq.Prognosis_learner.Oracle.stats.membership_symbols;
+            cache_hits = hits;
+            cache_misses = misses;
+            equivalence_rounds = 0;
+            test_words = 0;
+            alphabet;
+            exec = Some (Prognosis_exec.Engine.stats_json engine);
+            identification = Some (Identify.to_json result);
+          }
+      in
+      (try
+         Prognosis_obs.Atomic_file.write ~path
+           (Report.to_json_string ~metrics:Prognosis_obs.Metrics.default report
+           ^ "\n")
+       with Sys_error msg -> or_die (Error ("cannot write metrics file: " ^ msg)));
+      Format.printf "metrics written to %s@." path
+
+let identify_cmd =
+  let doc =
+    "Identify a live endpoint against a model library: walk the adaptive \
+     classification tree (a few separating words), confirm the candidate \
+     with its state cover crossed with its characterizing set, and fall \
+     back to full learning plus library extension when the endpoint is \
+     novel — open-world fingerprinting at a fraction of full-learning \
+     query cost."
+  in
+  let library_arg =
+    let doc = "Model library directory (see `prognosis library build`)." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "library" ] ~docv:"DIR" ~doc)
+  in
+  let subject_arg =
+    let doc =
+      "The endpoint to identify: tcp, tcp:persistent, tcp:no-challenge, \
+       dtls, dtls:no-cookie, dtls:lax-ccs or quic:PROFILE."
+    in
+    Arg.(
+      required & opt (some string) None & info [ "subject" ] ~docv:"SUBJECT" ~doc)
+  in
+  let name_arg =
+    let doc =
+      "Name for the new library entry when the endpoint turns out novel \
+       (default: the subject name, suffixed if taken)."
+    in
+    Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME" ~doc)
+  in
+  let no_extend =
+    let doc = "On a novel endpoint, skip full learning and library extension." in
+    Arg.(value & flag & info [ "no-extend" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "identify" ~doc)
+    Term.(
+      const do_identify $ verbose $ library_arg $ subject_arg $ name_arg $ seed
+      $ algorithm $ workers_arg $ batch_arg $ parallel_arg $ replicas_arg
+      $ no_extend $ metrics_out $ trace_out)
+
 let main =
   let doc = "closed-box learning and analysis of protocol implementations" in
   Cmd.group
     (Cmd.info "prognosis" ~version:"1.0.0" ~doc)
     [
       learn_cmd; resume_cmd; ci_cmd; compare_cmd; nondet_cmd; synthesize_cmd;
-      check_cmd; difftest_cmd; render_cmd; replay_cmd; trace_cmd; report_cmd;
+      check_cmd; difftest_cmd; identify_cmd; library_cmd; render_cmd;
+      replay_cmd; trace_cmd; report_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -6,13 +6,45 @@ type ('i, 'o) witness = {
   outputs_b : 'o list;
 }
 
-let equivalent a b = Mealy.equivalent a b = None
-
 let make_witness a b word =
   { word; outputs_a = Mealy.run a word; outputs_b = Mealy.run b word }
 
-let first_difference a b =
-  Option.map (make_witness a b) (Mealy.equivalent a b)
+(* Breadth-first search over the product automaton, dequeuing product
+   states in FIFO order and scanning inputs in alphabet order. The
+   first disagreeing edge therefore has minimal depth, and ties break
+   on (BFS discovery order, alphabet position) — both functions of the
+   two machines alone, so the returned word is deterministic across
+   runs. The fingerprint splitter relies on both properties: shortest
+   words keep classification trees shallow, determinism keeps them
+   byte-stable. *)
+let shortest_difference a b =
+  let n = Mealy.alphabet_size a in
+  if n <> Mealy.alphabet_size b then
+    invalid_arg "Model_diff.shortest_difference: different alphabets";
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Hashtbl.add seen (Mealy.initial a, Mealy.initial b) ();
+  Queue.add (Mealy.initial a, Mealy.initial b, []) queue;
+  let result = ref None in
+  while !result = None && not (Queue.is_empty queue) do
+    let sa, sb, path = Queue.pop queue in
+    let i = ref 0 in
+    while !result = None && !i < n do
+      let sa', oa = Mealy.step_idx a sa !i in
+      let sb', ob = Mealy.step_idx b sb !i in
+      if oa <> ob then
+        result := Some (List.rev ((Mealy.inputs a).(!i) :: path))
+      else if not (Hashtbl.mem seen (sa', sb')) then begin
+        Hashtbl.add seen (sa', sb') ();
+        Queue.add (sa', sb', (Mealy.inputs a).(!i) :: path) queue
+      end;
+      incr i
+    done
+  done;
+  Option.map (make_witness a b) !result
+
+let first_difference = shortest_difference
+let equivalent a b = first_difference a b = None
 
 (* BFS over the product, collecting one witness per (state-pair, input)
    whose outputs disagree; exploration continues past disagreements so

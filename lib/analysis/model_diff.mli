@@ -14,12 +14,25 @@ type ('i, 'o) witness = {
 
 val equivalent : ('i, 'o) Prognosis_automata.Mealy.t -> ('i, 'o) Prognosis_automata.Mealy.t -> bool
 
+val shortest_difference :
+  ('i, 'o) Prognosis_automata.Mealy.t ->
+  ('i, 'o) Prognosis_automata.Mealy.t ->
+  ('i, 'o) witness option
+(** A {e shortest} input word on which the models disagree, with both
+    output words, found by breadth-first search over the product
+    automaton. Deterministic: product states are dequeued in FIFO
+    order and inputs scanned in alphabet order, so equal-length
+    candidates tie-break identically on every run — the property that
+    keeps fingerprint classification trees minimal and byte-stable.
+    Machines are aligned positionally; only the alphabet {e sizes}
+    must match.
+    @raise Invalid_argument if the alphabet sizes differ. *)
+
 val first_difference :
   ('i, 'o) Prognosis_automata.Mealy.t ->
   ('i, 'o) Prognosis_automata.Mealy.t ->
   ('i, 'o) witness option
-(** Shortest input word on which the models disagree, with both output
-    words. *)
+(** Alias for {!shortest_difference}. *)
 
 val differences :
   max:int ->

@@ -8,6 +8,15 @@ let kind_to_string = function
   | Dtls_model -> "dtls"
   | Tcp_client_model -> "tcp-client"
 
+let kind_of_string = function
+  | "tcp" -> Some Tcp_model
+  | "quic" -> Some Quic_model
+  | "dtls" -> Some Dtls_model
+  | "tcp-client" -> Some Tcp_client_model
+  | _ -> None
+
+let all_kinds = [ Tcp_model; Quic_model; Dtls_model; Tcp_client_model ]
+
 type load_error =
   | Missing_file of { path : string; detail : string }
   | Foreign_magic of { path : string; found : string }
@@ -186,35 +195,43 @@ let save_text ~path kind ~input_to_string ~output_to_string model =
   Prognosis_obs.Atomic_file.write ~path text
 
 let parse_text ~path kind text =
-  let corrupt detail = Error (Corrupt { path; detail }) in
+  (* Errors carry the 1-based line number of the offending line, so a
+     caller staring at a corrupt library of committed model files
+     (`prognosis library build`) can pinpoint the damage. *)
   let lines = String.split_on_char '\n' text in
   (* A well-formed file ends with "end\n": drop the trailing "". *)
   let lines =
     match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
   in
+  let total = List.length lines in
+  let corrupt_at line detail =
+    Error (Corrupt { path; detail = Printf.sprintf "line %d: %s" line detail })
+  in
   let ( let* ) = Result.bind in
-  let pos = ref lines in
+  let pos = ref (List.mapi (fun i l -> (i + 1, l)) lines) in
   let next what =
     match !pos with
-    | [] -> corrupt (Printf.sprintf "truncated file (expected %s)" what)
+    | [] ->
+        corrupt_at (total + 1)
+          (Printf.sprintf "truncated file (expected %s)" what)
     | l :: rest ->
         pos := rest;
         Ok l
   in
   let field name =
-    let* l = next (name ^ " line") in
+    let* ln, l = next (name ^ " line") in
     match String.index_opt l ' ' with
     | Some i when String.sub l 0 i = name ->
-        Ok (String.sub l (i + 1) (String.length l - i - 1))
-    | _ -> corrupt (Printf.sprintf "expected %S line, found %S" name l)
+        Ok (ln, String.sub l (i + 1) (String.length l - i - 1))
+    | _ -> corrupt_at ln (Printf.sprintf "expected %S line, found %S" name l)
   in
   let int_field name =
-    let* v = field name in
+    let* ln, v = field name in
     match int_of_string_opt v with
-    | Some n -> Ok n
-    | None -> corrupt (Printf.sprintf "%s is not a number: %S" name v)
+    | Some n -> Ok (ln, n)
+    | None -> corrupt_at ln (Printf.sprintf "%s is not a number: %S" name v)
   in
-  let* m = next "magic" in
+  let* _, m = next "magic" in
   if m <> text_magic then
     if
       String.length m >= String.length text_magic_prefix
@@ -222,29 +239,29 @@ let parse_text ~path kind text =
     then Error (Version_mismatch { path; found = m; running = text_magic })
     else Error (Foreign_magic { path; found = m })
   else
-    let* k = field "kind" in
+    let* _, k = field "kind" in
     if k <> kind_to_string kind then
       Error (Kind_mismatch { path; found = k; expected = kind_to_string kind })
     else
-      let* size = int_field "states" in
-      let* initial = int_field "initial" in
-      let* n_inputs = int_field "inputs" in
-      if n_inputs <= 0 then corrupt "empty input alphabet"
+      let* _, size = int_field "states" in
+      let* _, initial = int_field "initial" in
+      let* inputs_ln, n_inputs = int_field "inputs" in
+      if n_inputs <= 0 then corrupt_at inputs_ln "empty input alphabet"
       else
         let rec read_symbols k acc =
           if k = 0 then Ok (List.rev acc)
           else
-            let* l = next "symbol" in
+            let* _, l = next "symbol" in
             read_symbols (k - 1) (l :: acc)
         in
         let* inputs = read_symbols n_inputs [] in
-        let* n_outputs = int_field "outputs" in
+        let* _, n_outputs = int_field "outputs" in
         let* out_table = read_symbols n_outputs [] in
         let out_table = Array.of_list out_table in
-        let* n_trans = int_field "transitions" in
-        if size <= 0 then corrupt "no states"
+        let* trans_ln, n_trans = int_field "transitions" in
+        if size <= 0 then corrupt_at trans_ln "no states"
         else if n_trans <> size * n_inputs then
-          corrupt
+          corrupt_at trans_ln
             (Printf.sprintf "transition count %d is not states*inputs = %d"
                n_trans (size * n_inputs))
         else begin
@@ -253,7 +270,7 @@ let parse_text ~path kind text =
           let rec read_trans k =
             if k = 0 then Ok ()
             else
-              let* l = next "transition" in
+              let* ln, l = next "transition" in
               match String.split_on_char ' ' l with
               | [ "t"; s; i; s'; o ] -> (
                   match
@@ -268,19 +285,20 @@ let parse_text ~path kind text =
                       delta.(s).(i) <- s';
                       lambda.(s).(i) <- out_table.(o);
                       read_trans (k - 1)
-                  | _ -> corrupt (Printf.sprintf "bad transition line %S" l))
-              | _ -> corrupt (Printf.sprintf "bad transition line %S" l)
+                  | _ -> corrupt_at ln (Printf.sprintf "bad transition line %S" l))
+              | _ -> corrupt_at ln (Printf.sprintf "bad transition line %S" l)
           in
           let* () = read_trans n_trans in
-          let* e = next "end marker" in
-          if e <> "end" then corrupt (Printf.sprintf "expected \"end\", found %S" e)
+          let* end_ln, e = next "end marker" in
+          if e <> "end" then
+            corrupt_at end_ln (Printf.sprintf "expected \"end\", found %S" e)
           else
             try
               Ok
                 (Mealy.make ~size ~initial ~inputs:(Array.of_list inputs)
                    ~delta ~lambda)
             with Invalid_argument msg ->
-              corrupt ("invalid machine: " ^ msg)
+              corrupt_at end_ln ("invalid machine: " ^ msg)
         end
 
 let load_text ~path kind =

@@ -22,6 +22,11 @@ type kind = Tcp_model | Quic_model | Dtls_model | Tcp_client_model
 
 val kind_to_string : kind -> string
 
+val kind_of_string : string -> kind option
+(** Inverse of {!kind_to_string}; [None] for unknown tags. *)
+
+val all_kinds : kind list
+
 (** Structured load failures — every case a caller might want to
     branch on (a missing golden is refreshable, a kind mismatch is a
     usage error, a version mismatch means re-learn). *)
@@ -115,7 +120,10 @@ val parse_text :
   ((string, string) Prognosis_automata.Mealy.t, load_error) result
 (** Parse serialized text ([path] only labels errors). Round-trip is
     exact: [text_of_model] of a parsed model reproduces the input
-    bytes. *)
+    bytes. [Corrupt] details are prefixed with the 1-based line number
+    of the offending line (["line 17: bad transition line ..."]), so
+    tooling over directories of committed models — the fingerprint
+    library builder — can pinpoint damage. *)
 
 val load_text :
   path:string ->

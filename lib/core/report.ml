@@ -17,6 +17,7 @@ type t = {
   test_words : int;
   alphabet : int;
   exec : Jsonx.t option;
+  identification : Jsonx.t option;
 }
 
 let of_learn_result ~subject ~algorithm ?exec (r : ('i, 'o) Learn.result) =
@@ -36,7 +37,10 @@ let of_learn_result ~subject ~algorithm ?exec (r : ('i, 'o) Learn.result) =
     test_words = r.Learn.stats.Oracle.test_words;
     alphabet = Mealy.alphabet_size r.Learn.model;
     exec;
+    identification = None;
   }
+
+let with_identification ident t = { t with identification = Some ident }
 
 let cache_hit_rate t =
   let total = t.cache_hits + t.cache_misses in
@@ -102,6 +106,11 @@ let to_json ?metrics t =
     match t.exec with
     | None -> fields
     | Some e -> fields @ [ ("exec", e) ]
+  in
+  let fields =
+    match t.identification with
+    | None -> fields
+    | Some i -> fields @ [ ("identification", i) ]
   in
   let fields =
     match metrics with

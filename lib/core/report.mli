@@ -20,6 +20,10 @@ type t = {
   exec : Prognosis_obs.Jsonx.t option;
       (** query-execution engine stats ([prognosis.exec/1]) when
           learning ran through {!Prognosis_exec.Engine} *)
+  identification : Prognosis_obs.Jsonx.t option;
+      (** fingerprint-identification stats
+          ([prognosis.identification/1]) when the run came from
+          [prognosis identify] — see [lib/fingerprint] *)
 }
 
 val of_learn_result :
@@ -28,6 +32,10 @@ val of_learn_result :
   ?exec:Prognosis_obs.Jsonx.t ->
   ('i, 'o) Prognosis_learner.Learn.result ->
   t
+
+val with_identification : Prognosis_obs.Jsonx.t -> t -> t
+(** Attach a [prognosis.identification/1] block; {!to_json} then
+    emits it as an ["identification"] field. *)
 
 val trace_count : t -> max_len:int -> int
 (** Number of input words of length ≤ [max_len] over this alphabet

@@ -76,7 +76,7 @@ let default_watch path =
      ||
      match last_segment path with
      | "membership_queries" | "membership_symbols" | "resets" | "steps"
-     | "test_words" ->
+     | "test_words" | "queries_per_identification" ->
          true
      | _ -> false)
 

@@ -23,10 +23,11 @@ val changed : delta -> bool
 
 val default_watch : string -> bool
 (** The paths the regression gate watches by default: benchmark
-    timings ([benchmarks_ns_per_run]) and learning-effort counters
+    timings ([benchmarks_ns_per_run]), learning-effort counters
     (membership_queries, membership_symbols, resets, steps,
-    test_words), excluding baseline echoes and saved-count
-    bookkeeping. *)
+    test_words) and the fingerprint service's per-endpoint
+    identification cost (queries_per_identification), excluding
+    baseline echoes and saved-count bookkeeping. *)
 
 val regressions :
   ?threshold:float -> ?watch:(string -> bool) -> delta list -> delta list

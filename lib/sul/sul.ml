@@ -22,6 +22,22 @@ let of_mealy m =
     description = "mealy";
   }
 
+let strings ~symbols ~to_string ~output_to_string sul =
+  let table = Hashtbl.create 16 in
+  Array.iter (fun s -> Hashtbl.replace table (to_string s) s) symbols;
+  {
+    reset = sul.reset;
+    step =
+      (fun name ->
+        match Hashtbl.find_opt table name with
+        | Some sym -> output_to_string (sul.step sym)
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Sul.strings: input %S is not in the %s alphabet"
+                 name sul.description));
+    description = sul.description;
+  }
+
 let counting sul =
   let resets = ref 0 and steps = ref 0 in
   let wrapped =

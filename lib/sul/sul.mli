@@ -20,6 +20,19 @@ val query : ('i, 'o) t -> 'i list -> 'o list
 val of_mealy : ('i, 'o) Prognosis_automata.Mealy.t -> ('i, 'o) t
 (** Wraps a known machine as a SUL (useful for testing learners). *)
 
+val strings :
+  symbols:'i array ->
+  to_string:('i -> string) ->
+  output_to_string:('o -> string) ->
+  ('i, 'o) t ->
+  (string, string) t
+(** View a SUL at the string level: inputs are looked up by their
+    printed name (over [symbols]) and outputs rendered through
+    [output_to_string]. This is the representation the canonical text
+    models use, so fingerprint identification drives live endpoints
+    through this wrapper.
+    @raise Invalid_argument on an input name outside the alphabet. *)
+
 val counting : ('i, 'o) t -> ('i, 'o) t * (unit -> int * int)
 (** [counting sul] is a wrapper and a function returning
     [(resets, steps)] performed so far. *)

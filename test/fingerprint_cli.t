@@ -1,0 +1,72 @@
+Open-world fingerprinting via the CLI. A model library is a directory
+of canonical prognosis.model/1 files plus a prognosis.library/1
+manifest; `library build` scans it (the committed goldens here) and
+writes the manifest:
+
+  $ mkdir lib
+  $ cp ../examples/golden/*.model lib/
+  $ ../bin/prognosis_cli.exe library build lib
+  library lib: 3 entries
+  $ grep -o '"schema":"prognosis.library/1"' lib/library.json
+  "schema":"prognosis.library/1"
+
+  $ ../bin/prognosis_cli.exe library list lib
+  tcp:
+    tcp                        6 states   42 transitions  tcp.model
+  quic:
+    quic-quiche-like           8 states   56 transitions  quic-quiche-like.model
+  dtls:
+    dtls                       7 states   42 transitions  dtls.model
+  3 entries
+
+Identifying a known endpoint walks the classification tree and
+confirms the candidate with its state cover x characterizing set — a
+few dozen words instead of the ~1000 membership queries full learning
+costs:
+
+  $ ../bin/prognosis_cli.exe identify --library lib --subject tcp --no-extend
+  known: tcp
+  queries: 12 words, 32 symbols (0 walk + 12 confirm)
+  endpoint identified as tcp
+
+A fault-injected variant (a DTLS server that skips the cookie
+round-trip) diverges from every library entry. The open-world path
+learns it in full and extends the library:
+
+  $ ../bin/prognosis_cli.exe identify --library lib --subject dtls:no-cookie
+  novel (diverged during confirm)
+    word:   CLIENT_HELLO(?)
+    output: {SERVER_HELLO,CERTIFICATE,SERVER_HELLO_DONE}
+    known:  {HELLO_VERIFY_REQUEST}
+  queries: 34 words, 118 symbols (0 walk + 34 confirm)
+  novel endpoint: learning a full model...
+  learned 6 states in 1335 membership queries
+  library extended: dtls:no-cookie (4 entries)
+
+The second encounter is cheap — the rebuilt tree separates the two
+DTLS behaviours on a one-symbol word:
+
+  $ ../bin/prognosis_cli.exe identify --library lib --subject dtls:no-cookie --no-extend
+  known: dtls:no-cookie
+  queries: 29 words, 88 symbols (1 walk + 29 confirm)
+  endpoint identified as dtls:no-cookie
+
+  $ ../bin/prognosis_cli.exe library inspect lib
+  tcp: 1 entry, tree depth 0, 0 separating word(s), longest 0 symbol(s)
+    tcp
+  quic: 1 entry, tree depth 0, 0 separating word(s), longest 0 symbol(s)
+    quic-quiche-like
+  dtls: 2 entries, tree depth 1, 1 separating word(s), longest 1 symbol(s)
+    ask: CLIENT_HELLO(?)
+    -> {HELLO_VERIFY_REQUEST}:
+      dtls
+    -> {SERVER_HELLO,CERTIFICATE,SERVER_HELLO_DONE}:
+      dtls:no-cookie
+
+The report written by --metrics-out carries the identification block
+(schema prognosis.identification/1) inside a prognosis.report/1
+document:
+
+  $ ../bin/prognosis_cli.exe identify --library lib --subject tcp --no-extend --metrics-out id.json > /dev/null
+  $ grep -o '"identification":{"schema":"prognosis.identification/1","outcome":"known","entry":"tcp"' id.json
+  "identification":{"schema":"prognosis.identification/1","outcome":"known","entry":"tcp"
