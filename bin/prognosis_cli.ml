@@ -1124,7 +1124,7 @@ let trace_cmd =
 
 (* --- report diff: compare two machine-readable reports --- *)
 
-let do_report_diff () file_a file_b threshold_pct show_all =
+let do_report_diff () file_a file_b threshold_pct show_all counters_only =
   let module J = Prognosis_obs.Jsonx in
   let module D = Prognosis_obs.Report_diff in
   let load path =
@@ -1137,9 +1137,6 @@ let do_report_diff () file_a file_b threshold_pct show_all =
   in
   let a = load file_a and b = load file_b in
   let deltas = D.diff a b in
-  let shown =
-    if show_all then deltas else List.filter D.changed deltas
-  in
   let fmt_v = function
     | None -> "-"
     | Some v ->
@@ -1147,31 +1144,55 @@ let do_report_diff () file_a file_b threshold_pct show_all =
           Printf.sprintf "%.0f" v
         else Printf.sprintf "%.4g" v
   in
-  if shown = [] then Format.printf "no differences@."
-  else
-    List.iter
-      (fun d ->
-        let pct =
-          match (d.D.a, d.D.b) with
-          | Some a, Some b when a <> 0.0 && a <> b ->
-              Printf.sprintf "  (%+.1f%%)" (100.0 *. (b -. a) /. a)
-          | _ -> ""
-        in
-        Format.printf "%s: %s -> %s%s@." d.D.path (fmt_v d.D.a) (fmt_v d.D.b)
-          pct)
-      shown;
-  let threshold = threshold_pct /. 100.0 in
-  match D.regressions ~threshold deltas with
-  | [] -> Format.printf "regression gate: ok (threshold %.0f%%)@." threshold_pct
-  | regs ->
-      Format.printf "regression gate: %d metric(s) regressed beyond %.0f%%@."
-        (List.length regs) threshold_pct;
+  if counters_only then begin
+    (* zero-threshold, bidirectional gate on the deterministic effort
+       counters: any change at all fails, improvements included *)
+    let watched = List.filter (fun d -> D.counter_watch d.D.path) deltas in
+    match D.drift deltas with
+    | [] ->
+        Format.printf "counter gate: ok (%d deterministic counters identical)@."
+          (List.length watched)
+    | drifted ->
+        Format.printf "counter gate: %d deterministic counter(s) drifted@."
+          (List.length drifted);
+        List.iter
+          (fun d ->
+            Format.printf "  DRIFT %s: %s -> %s@." d.D.path (fmt_v d.D.a)
+              (fmt_v d.D.b))
+          drifted;
+        exit 1
+  end
+  else begin
+    let shown =
+      if show_all then deltas else List.filter D.changed deltas
+    in
+    if shown = [] then Format.printf "no differences@."
+    else
       List.iter
         (fun d ->
-          Format.printf "  REGRESSED %s: %s -> %s@." d.D.path (fmt_v d.D.a)
-            (fmt_v d.D.b))
-        regs;
-      exit 1
+          let pct =
+            match (d.D.a, d.D.b) with
+            | Some a, Some b when a <> 0.0 && a <> b ->
+                Printf.sprintf "  (%+.1f%%)" (100.0 *. (b -. a) /. a)
+            | _ -> ""
+          in
+          Format.printf "%s: %s -> %s%s@." d.D.path (fmt_v d.D.a) (fmt_v d.D.b)
+            pct)
+        shown;
+    let threshold = threshold_pct /. 100.0 in
+    match D.regressions ~threshold deltas with
+    | [] ->
+        Format.printf "regression gate: ok (threshold %.0f%%)@." threshold_pct
+    | regs ->
+        Format.printf "regression gate: %d metric(s) regressed beyond %.0f%%@."
+          (List.length regs) threshold_pct;
+        List.iter
+          (fun d ->
+            Format.printf "  REGRESSED %s: %s -> %s@." d.D.path (fmt_v d.D.a)
+              (fmt_v d.D.b))
+          regs;
+        exit 1
+  end
 
 let report_diff_cmd =
   let doc =
@@ -1203,10 +1224,21 @@ let report_diff_cmd =
       value & flag
       & info [ "all" ] ~doc:"Print unchanged metrics too, not just deltas.")
   in
+  let counters_only =
+    Arg.(
+      value & flag
+      & info [ "counters-only" ]
+          ~doc:
+            "Gate only the deterministic learning-effort counters \
+             (membership queries/symbols, test words, \
+             queries-per-identification) at zero threshold, in both \
+             directions: exits 1 on any drift. Timings are ignored.")
+  in
   Cmd.v
     (Cmd.info "diff" ~doc)
     Term.(
-      const do_report_diff $ verbose $ file_a $ file_b $ threshold $ show_all)
+      const do_report_diff $ verbose $ file_a $ file_b $ threshold $ show_all
+      $ counters_only)
 
 let report_cmd =
   let doc = "Operations on machine-readable run reports." in

@@ -2,7 +2,17 @@
 
     States are integers [0 .. size-1]; the input alphabet is an explicit
     array of symbols. All machines handled by Prognosis are total: every
-    state has a transition for every input symbol. *)
+    state has a transition for every input symbol.
+
+    Machines carry a lazily-built {e packed} form (see {!Packed}): flat
+    int transition/output tables with O(1) array-indexed stepping. The
+    word-running entry points ({!run}, {!run_from}, {!state_after}),
+    product-BFS comparisons ({!equivalent}, {!distinguishing_word}) and
+    {!characterizing_set} all execute on the packed form; it is memoized
+    per machine, so the compilation cost is paid once. *)
+
+type ('i, 'o) packed
+(** The compiled form of a machine; see {!Packed}. *)
 
 type ('i, 'o) t = private {
   size : int;  (** number of states *)
@@ -10,6 +20,8 @@ type ('i, 'o) t = private {
   inputs : 'i array;  (** the input alphabet *)
   delta : int array array;  (** [delta.(s).(i)] = successor state *)
   lambda : 'o array array;  (** [lambda.(s).(i)] = output symbol *)
+  mutable packed_ : ('i, 'o) packed option;
+      (** memoized packed form; managed by {!Packed.pack} *)
 }
 
 val make :
@@ -50,10 +62,74 @@ val step_idx : ('i, 'o) t -> int -> int -> int * 'o
 val step : ('i, 'o) t -> int -> 'i -> int * 'o
 
 val run : ('i, 'o) t -> 'i list -> 'o list
-(** Output word produced from the initial state. *)
+(** Output word produced from the initial state. Executes on the
+    memoized packed form ({!Packed}).
+    @raise Not_found if a symbol is not in the alphabet. *)
 
 val run_from : ('i, 'o) t -> int -> 'i list -> 'o list
 val state_after : ('i, 'o) t -> 'i list -> int
+
+val run_reference : ('i, 'o) t -> 'i list -> 'o list
+(** Functional reference stepping over the unpacked matrices (linear
+    alphabet scan per symbol, no interning). Semantically identical to
+    {!run}; kept as the differential baseline for the packed-vs-
+    functional property test and the A9 bench ablation. *)
+
+val run_reference_from : ('i, 'o) t -> int -> 'i list -> 'o list
+
+(** Packed (compiled) machines: transitions and outputs frozen into
+    flat int arrays indexed by [(state * alphabet_size) + input_index],
+    with outputs interned into a dense table. Stepping is two array
+    loads — no per-step allocation or polymorphic comparison. Build
+    cost is O(size × alphabet); {!Packed.pack} memoizes the result on
+    the machine record.
+
+    Packing and the memoizing field are not domain-safe: pack on one
+    domain before sharing a machine with parallel consumers. A packed
+    value itself is immutable and safe to read concurrently. *)
+module Packed : sig
+  type ('i, 'o) machine = ('i, 'o) t
+  type nonrec ('i, 'o) t = ('i, 'o) packed
+
+  val pack : ('i, 'o) machine -> ('i, 'o) t
+  (** Compile (memoized — subsequent calls are one field read). *)
+
+  val size : ('i, 'o) t -> int
+  val initial : ('i, 'o) t -> int
+  val alphabet_size : ('i, 'o) t -> int
+
+  val output_count : ('i, 'o) t -> int
+  (** Number of distinct output symbols (size of the intern table). *)
+
+  val next : ('i, 'o) t -> int -> int -> int
+  (** [next p s i] is the successor of state [s] on the [i]-th symbol. *)
+
+  val out_id : ('i, 'o) t -> int -> int -> int
+  (** [out_id p s i] is the interned output id of that transition. *)
+
+  val output : ('i, 'o) t -> int -> 'o
+  (** Resolve an interned output id to its symbol. *)
+
+  val input_index : ('i, 'o) t -> 'i -> int option
+  (** Alphabet position of a symbol, or [None] if unknown. *)
+
+  val run : ('i, 'o) t -> 'i list -> 'o list
+  val run_from : ('i, 'o) t -> int -> 'i list -> 'o list
+  val state_after : ('i, 'o) t -> 'i list -> int
+  val state_after_from : ('i, 'o) t -> int -> 'i list -> int
+
+  val intern_word : ('i, 'o) t -> 'i list -> int array
+  (** Pre-intern a word into alphabet indices for {!run_ids}.
+      @raise Not_found if a symbol is not in the alphabet. *)
+
+  val run_ids : ('i, 'o) t -> int -> int array -> int array
+  (** [run_ids p s word_ids] steps a pre-interned word from state [s],
+      returning interned output ids — the zero-allocation inner loop
+      the hot paths (and the A9 ablation) drive. *)
+end
+
+val pack : ('i, 'o) t -> ('i, 'o) packed
+(** Alias for {!Packed.pack}. *)
 
 val reachable : ('i, 'o) t -> bool array
 (** [reachable m] marks states reachable from the initial state. *)
@@ -80,7 +156,9 @@ val equivalent : ('i, 'o) t -> ('i, 'o) t -> 'i list option
     input/output behaviour, or [Some w] with [w] a shortest-by-BFS input
     word on which their outputs differ. Both machines must share the
     same input alphabet (compared by structural equality, order
-    included).
+    included). Runs as a product BFS over the packed transition tables;
+    the BFS order (FIFO, inputs in alphabet order) is fixed, so the
+    witness word is deterministic.
     @raise Invalid_argument if the alphabets differ. *)
 
 val access_words : ('i, 'o) t -> 'i list array

@@ -1,103 +1,257 @@
 module Metrics = Prognosis_obs.Metrics
 
-type ('i, 'o) node = {
-  children : ('i, ('i, 'o) node) Hashtbl.t;
-  mutable output : 'o option; (* output produced on the edge into this node *)
+(* Compacted trie over interned symbol ids. Input and output symbols
+   are interned once into dense int ids; the trie itself stores
+   path-compressed edges — an [int array] of symbol ids with the
+   matching output ids alongside — so a chain of single-child nodes
+   costs one node and walking it is an int-array scan, not a hashtable
+   probe per symbol. Children are kept sorted by first edge symbol id
+   for cheap insertion; [dump] re-sorts siblings by the symbols
+   themselves so the checkpoint order is canonical.
+
+   [lookup] and [lookup_longest_prefix] never mutate the structure
+   (unknown symbols are a miss, not an interning event), so concurrent
+   read-only probes from the exec pool's worker domains are safe while
+   inserts stay on the main domain — the same discipline the engine
+   already follows. *)
+
+type node = {
+  mutable path : int array; (* compressed edge into this subtree *)
+  mutable pouts : int array; (* output ids along the edge; same length *)
+  mutable kids : node list; (* sorted by [path.(0)]; first ids distinct *)
 }
 
 type ('i, 'o) t = {
-  root : ('i, 'o) node;
-  mutable nodes : int;
+  sym_ids : ('i, int) Hashtbl.t;
+  mutable syms : 'i array; (* id -> input symbol *)
+  mutable n_syms : int;
+  out_ids : ('o, int) Hashtbl.t;
+  mutable outs : 'o array; (* id -> output symbol *)
+  mutable n_outs : int;
+  root : node;
+  mutable prefixes : int; (* distinct cached non-empty prefixes *)
+  mutable phys : int; (* physical (compacted) nodes, root included *)
   mutable hits : int;
   mutable misses : int;
 }
 
-let fresh_node () = { children = Hashtbl.create 4; output = None }
+let create () =
+  {
+    sym_ids = Hashtbl.create 16;
+    syms = [||];
+    n_syms = 0;
+    out_ids = Hashtbl.create 16;
+    outs = [||];
+    n_outs = 0;
+    root = { path = [||]; pouts = [||]; kids = [] };
+    prefixes = 0;
+    phys = 1;
+    hits = 0;
+    misses = 0;
+  }
 
-let create () = { root = fresh_node (); nodes = 1; hits = 0; misses = 0 }
+let intern_sym t x =
+  match Hashtbl.find_opt t.sym_ids x with
+  | Some id -> id
+  | None ->
+      let id = t.n_syms in
+      let cap = Array.length t.syms in
+      if id >= cap then begin
+        let a = Array.make (max 8 (2 * cap)) x in
+        Array.blit t.syms 0 a 0 t.n_syms;
+        t.syms <- a
+      end;
+      t.syms.(id) <- x;
+      t.n_syms <- id + 1;
+      Hashtbl.add t.sym_ids x id;
+      id
+
+let intern_out t o =
+  match Hashtbl.find_opt t.out_ids o with
+  | Some id -> id
+  | None ->
+      let id = t.n_outs in
+      let cap = Array.length t.outs in
+      if id >= cap then begin
+        let a = Array.make (max 8 (2 * cap)) o in
+        Array.blit t.outs 0 a 0 t.n_outs;
+        t.outs <- a
+      end;
+      t.outs.(id) <- o;
+      t.n_outs <- id + 1;
+      Hashtbl.add t.out_ids o id;
+      id
+
+let conflict () =
+  invalid_arg "Cache.insert: conflicting outputs (nondeterministic SUL?)"
+
+let find_kid kids xi =
+  let rec go = function
+    | [] -> None
+    | k :: rest -> if k.path.(0) = xi then Some k else go rest
+  in
+  go kids
+
+let insert_sorted kid kids =
+  let x = kid.path.(0) in
+  let rec go = function
+    | [] -> [ kid ]
+    | k :: _ as l when x < k.path.(0) -> kid :: l
+    | k :: rest -> k :: go rest
+  in
+  go kids
+
+(* Split [kid]'s edge after its first [j] symbols: [kid] becomes the
+   j-long head in place (so the parent's child list is untouched) and a
+   fresh tail node inherits the rest of the edge and the children. *)
+let split t kid j =
+  let len = Array.length kid.path in
+  let tail =
+    {
+      path = Array.sub kid.path j (len - j);
+      pouts = Array.sub kid.pouts j (len - j);
+      kids = kid.kids;
+    }
+  in
+  kid.path <- Array.sub kid.path 0 j;
+  kid.pouts <- Array.sub kid.pouts 0 j;
+  kid.kids <- [ tail ];
+  t.phys <- t.phys + 1
 
 let insert t word outputs =
   if List.length word <> List.length outputs then
     invalid_arg "Cache.insert: word/outputs length mismatch";
-  let rec go node word outputs =
-    match (word, outputs) with
-    | [], [] -> ()
-    | x :: word', o :: outputs' ->
-        let child =
-          match Hashtbl.find_opt node.children x with
-          | Some c ->
-              (match c.output with
-              | Some o' when o' <> o ->
-                  invalid_arg "Cache.insert: conflicting outputs (nondeterministic SUL?)"
-              | Some _ -> ()
-              | None -> c.output <- Some o);
-              c
-          | None ->
-              let c = fresh_node () in
-              c.output <- Some o;
-              Hashtbl.add node.children x c;
-              t.nodes <- t.nodes + 1;
-              c
-        in
-        go child word' outputs'
-    | _ -> assert false
+  let fresh_leaf word outs =
+    let ids = Array.of_list (List.map (intern_sym t) word) in
+    let oids = Array.of_list (List.map (intern_out t) outs) in
+    t.phys <- t.phys + 1;
+    t.prefixes <- t.prefixes + Array.length ids;
+    { path = ids; pouts = oids; kids = [] }
   in
-  go t.root word outputs
+  let rec at_node node word outs =
+    match word with
+    | [] -> ()
+    | x :: _ -> (
+        let xi = intern_sym t x in
+        match find_kid node.kids xi with
+        | None -> node.kids <- insert_sorted (fresh_leaf word outs) node.kids
+        | Some kid -> in_edge kid 0 word outs)
+  and in_edge kid j word outs =
+    if j = Array.length kid.path then at_node kid word outs
+    else
+      match (word, outs) with
+      | [], [] -> ()
+      | x :: word', o :: outs' ->
+          let xi = intern_sym t x in
+          if xi = kid.path.(j) then begin
+            if intern_out t o <> kid.pouts.(j) then conflict ();
+            in_edge kid (j + 1) word' outs'
+          end
+          else begin
+            (* Diverges mid-edge: split, then branch off the head. *)
+            split t kid j;
+            kid.kids <- insert_sorted (fresh_leaf word outs) kid.kids
+          end
+      | _ -> assert false
+  in
+  at_node t.root word outputs
+
+let sym_id_opt t x = Hashtbl.find_opt t.sym_ids x
 
 let lookup t word =
-  let rec go node word acc =
+  let rec at_node node word acc =
     match word with
     | [] -> Some (List.rev acc)
-    | x :: word' -> (
-        match Hashtbl.find_opt node.children x with
-        | Some c -> (
-            match c.output with Some o -> go c word' (o :: acc) | None -> None)
-        | None -> None)
+    | x :: _ -> (
+        match sym_id_opt t x with
+        | None -> None
+        | Some xi -> (
+            match find_kid node.kids xi with
+            | None -> None
+            | Some kid -> in_edge kid 0 word acc))
+  and in_edge kid j word acc =
+    if j = Array.length kid.path then at_node kid word acc
+    else
+      match word with
+      | [] -> Some (List.rev acc)
+      | x :: word' -> (
+          match sym_id_opt t x with
+          | Some xi when xi = Array.unsafe_get kid.path j ->
+              in_edge kid (j + 1) word' (t.outs.(Array.unsafe_get kid.pouts j) :: acc)
+          | _ -> None)
   in
-  go t.root word []
+  at_node t.root word []
 
 let lookup_longest_prefix t word =
-  let rec go node word acc_in acc_out =
-    let stop () =
-      match acc_in with
-      | [] -> None
-      | _ -> Some (List.rev acc_in, List.rev acc_out)
-    in
-    match word with
-    | [] -> stop ()
-    | x :: word' -> (
-        match Hashtbl.find_opt node.children x with
-        | Some c -> (
-            match c.output with
-            | Some o -> go c word' (x :: acc_in) (o :: acc_out)
-            | None -> stop ())
-        | None -> stop ())
+  let stop acc_in acc_out =
+    match acc_in with
+    | [] -> None
+    | _ -> Some (List.rev acc_in, List.rev acc_out)
   in
-  go t.root word [] []
+  let rec at_node node word acc_in acc_out =
+    match word with
+    | [] -> stop acc_in acc_out
+    | x :: _ -> (
+        match sym_id_opt t x with
+        | None -> stop acc_in acc_out
+        | Some xi -> (
+            match find_kid node.kids xi with
+            | None -> stop acc_in acc_out
+            | Some kid -> in_edge kid 0 word acc_in acc_out))
+  and in_edge kid j word acc_in acc_out =
+    if j = Array.length kid.path then at_node kid word acc_in acc_out
+    else
+      match word with
+      | [] -> stop acc_in acc_out
+      | x :: word' -> (
+          match sym_id_opt t x with
+          | Some xi when xi = kid.path.(j) ->
+              in_edge kid (j + 1) word' (x :: acc_in)
+                (t.outs.(kid.pouts.(j)) :: acc_out)
+          | _ -> stop acc_in acc_out)
+  in
+  at_node t.root word [] []
 
-let size t = t.nodes
+let size t = t.prefixes + 1
+let compacted_nodes t = t.phys
 let hits t = t.hits
 let misses t = t.misses
 
 (* Maximal cached words: the trie's leaves. Every inserted word is a
    prefix of some leaf word (insert fills outputs along the whole
-   path), so re-inserting the leaves rebuilds the trie exactly. *)
+   path), so re-inserting the leaves rebuilds the trie exactly.
+   Children are sorted, so the order is deterministic for a given
+   insertion history. *)
+(* Canonical order: depth-first with siblings sorted by their actual
+   first symbol, not its interned id — ids depend on insertion history,
+   so sorting by id would make the dump of a restored cache differ from
+   the dump it was restored from. With symbol-order DFS the dump is a
+   function of the cached word set alone, and dump/restore round-trips
+   byte-identically even for dumps written by the pre-compaction
+   implementation in hash-table order. *)
 let dump t =
   let acc = ref [] in
   let rec go node rev_in rev_out =
-    if Hashtbl.length node.children = 0 then begin
-      if rev_in <> [] then acc := (List.rev rev_in, List.rev rev_out) :: !acc
-    end
-    else
-      Hashtbl.iter
-        (fun x c ->
-          match c.output with
-          | Some o -> go c (x :: rev_in) (o :: rev_out)
-          | None -> ())
-        node.children
+    match node.kids with
+    | [] -> if rev_in <> [] then acc := (List.rev rev_in, List.rev rev_out) :: !acc
+    | kids ->
+        let kids =
+          List.sort
+            (fun a b -> compare t.syms.(a.path.(0)) t.syms.(b.path.(0)))
+            kids
+        in
+        List.iter
+          (fun k ->
+            let ri = ref rev_in and ro = ref rev_out in
+            for j = 0 to Array.length k.path - 1 do
+              ri := t.syms.(k.path.(j)) :: !ri;
+              ro := t.outs.(k.pouts.(j)) :: !ro
+            done;
+            go k !ri !ro)
+          kids
   in
   go t.root [] [];
-  !acc
+  List.rev !acc
 
 let restore t words = List.iter (fun (w, outs) -> insert t w outs) words
 
@@ -106,6 +260,11 @@ let m_misses = Metrics.counter Metrics.default "cache.misses"
 let m_prefix_hits = Metrics.counter Metrics.default "cache.prefix_hits"
 let m_prefix_symbols = Metrics.counter Metrics.default "cache.prefix_symbols"
 let g_nodes = Metrics.gauge Metrics.default "cache.nodes"
+let g_trie_nodes = Metrics.gauge Metrics.default "cache.trie.nodes"
+
+let set_gauges t =
+  Metrics.set g_nodes (float_of_int (size t));
+  Metrics.set g_trie_nodes (float_of_int t.phys)
 
 let rec split_at n l =
   if n = 0 then ([], l)
@@ -141,7 +300,7 @@ let wrap t (mq : ('i, 'o) Oracle.membership) =
           cached_outs @ fresh_suffix
     in
     insert t word answer;
-    Metrics.set g_nodes (float_of_int t.nodes);
+    set_gauges t;
     answer
   in
   let ask word =
@@ -184,7 +343,7 @@ let wrap t (mq : ('i, 'o) Oracle.membership) =
           | _ ->
               let answers = batch missing in
               List.iter2 (insert t) missing answers;
-              Metrics.set g_nodes (float_of_int t.nodes);
+              set_gauges t;
               answers
         in
         let rec stitch tagged answers =

@@ -4,7 +4,15 @@
     reset before each query, the answer to any prefix of a cached word
     is also known. The cache stores full observed words in a trie and
     answers any query that is a prefix of a previously executed one
-    without touching the SUL. *)
+    without touching the SUL.
+
+    Internally the trie is compacted: input and output symbols are
+    interned into dense int ids and chains of single-child nodes are
+    collapsed into path-compressed edges, so lookups scan int arrays
+    instead of probing a hashtable per symbol. {!lookup} and
+    {!lookup_longest_prefix} never mutate the structure, so read-only
+    probes from the exec pool's worker domains are safe while inserts
+    stay on the main domain. *)
 
 type ('i, 'o) t
 
@@ -25,7 +33,13 @@ val lookup_longest_prefix : ('i, 'o) t -> 'i list -> ('i list * 'o list) option
     suffix still needs live execution. *)
 
 val size : ('i, 'o) t -> int
-(** Number of trie nodes (an upper bound on distinct cached symbols). *)
+(** Number of logical trie nodes — one per distinct cached non-empty
+    prefix, plus the root (an upper bound on distinct cached symbols).
+    Unchanged by path compression. *)
+
+val compacted_nodes : ('i, 'o) t -> int
+(** Number of physical nodes after path compression, root included
+    (exported as the [cache.trie.nodes] gauge). Always ≤ {!size}. *)
 
 val hits : ('i, 'o) t -> int
 val misses : ('i, 'o) t -> int
@@ -33,7 +47,11 @@ val misses : ('i, 'o) t -> int
 val dump : ('i, 'o) t -> ('i list * 'o list) list
 (** The maximal cached words with their outputs — enough to rebuild the
     whole trie with {!restore}, since every cached word is a prefix of
-    a maximal one. Order is unspecified. *)
+    a maximal one. Order is canonical: depth-first, siblings sorted by
+    symbol (polymorphic compare), independent of insertion history —
+    so [dump]→[restore]→[dump] round-trips byte-identically, including
+    for dumps produced by the pre-compaction implementation, whose
+    entry type is unchanged but whose hash-table order was arbitrary. *)
 
 val restore : ('i, 'o) t -> ('i list * 'o list) list -> unit
 (** Re-inserts a {!dump}. Restored entries do not count as hits or

@@ -7,6 +7,10 @@ module Trace = Prognosis_obs.Trace
 let m_test_words = Metrics.counter Metrics.default "eq.test_words"
 let m_counterexamples = Metrics.counter Metrics.default "eq.counterexamples"
 
+let m_shards = Metrics.counter Metrics.default "eq.shards"
+(* one per word-chunk handed to a batch-capable oracle: each shard is a
+   unit the engine may spread across its worker domains *)
+
 let check_word (mq : ('i, 'o) Oracle.membership) h word =
   if word = [] then None
   else begin
@@ -44,6 +48,7 @@ let check_batched mq batch h words =
           mq.Oracle.stats.test_words <- mq.Oracle.stats.test_words + 1;
           Metrics.inc m_test_words)
         words;
+      Metrics.inc m_shards;
       let answers = batch words in
       let rec find words answers =
         match (words, answers) with

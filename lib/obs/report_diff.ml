@@ -80,6 +80,29 @@ let default_watch path =
          true
      | _ -> false)
 
+(* The deterministic effort counters: identical-seed runs reproduce
+   these byte-for-byte, so CI gates them at threshold zero and in both
+   directions (an unexplained improvement is as suspicious as a
+   regression — it means the query stream changed). The global metrics
+   registry snapshot is excluded: its counters absorb bechamel's
+   machine-dependent iteration counts and are not deterministic. *)
+let counter_watch path =
+  (not
+     (String.length path >= 8
+     && String.sub path 0 8 = "metrics."
+     || path = "metrics"))
+  && (not (contains ~sub:"baseline" path))
+  && (not (contains ~sub:"saved" path))
+  &&
+  match last_segment path with
+  | "membership_queries" | "membership_symbols" | "test_words"
+  | "queries_per_identification" ->
+      true
+  | _ -> false
+
+let drift ?(watch = counter_watch) deltas =
+  List.filter (fun d -> watch d.path && changed d) deltas
+
 let regressions ?(threshold = 0.10) ?(watch = default_watch) deltas =
   List.filter
     (fun d ->

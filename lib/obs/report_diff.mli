@@ -33,3 +33,16 @@ val regressions :
   ?threshold:float -> ?watch:(string -> bool) -> delta list -> delta list
 (** Watched paths present on both sides whose value grew by more than
     [threshold] (default 0.10, i.e. 10%). *)
+
+val counter_watch : string -> bool
+(** The deterministic counters (membership_queries,
+    membership_symbols, test_words, queries_per_identification) that
+    identical-seed runs must reproduce exactly, excluding baseline
+    /saved bookkeeping and the whole [metrics] registry snapshot
+    (whose counters absorb bechamel's machine-dependent iteration
+    counts). *)
+
+val drift : ?watch:(string -> bool) -> delta list -> delta list
+(** Watched paths that changed in either direction, including paths
+    present on only one side — the zero-threshold gate for
+    deterministic counters (default watch: {!counter_watch}). *)

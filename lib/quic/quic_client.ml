@@ -42,12 +42,24 @@ type t = {
   mutable queue : Frame.t list;
       (* reactive frames held back until the learner requests a matching
          symbol (the paper's Listing-1 queue, instrumentation property 1) *)
+  mutable tokens_for_dcid : string;
+  mutable tokens_for_odcid : string;
+  mutable tokens_ : string list;
+      (* stateless-reset tokens for the cids above; cache keyed by
+         physical equality, so a cid swap always recomputes *)
 }
 
+let hex_digits = "0123456789abcdef"
+
 let to_hex s =
-  String.concat ""
-    (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
-       (List.init (String.length s) (String.get s)))
+  let n = String.length s in
+  let b = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code (String.unsafe_get s i) in
+    Bytes.unsafe_set b (2 * i) (String.unsafe_get hex_digits (c lsr 4));
+    Bytes.unsafe_set b ((2 * i) + 1) (String.unsafe_get hex_digits (c land 0xF))
+  done;
+  Bytes.unsafe_to_string b
 
 let reset t =
   t.port_ <- 50000 + Rng.int t.rng 10000;
@@ -103,6 +115,9 @@ let create ?(config = default_config) rng =
       sdb_values = [];
       flow_violation_ = false;
       queue = [];
+      tokens_for_dcid = "";
+      tokens_for_odcid = "";
+      tokens_ = [];
     }
   in
   reset t;
@@ -148,8 +163,15 @@ let build t ptype ?(token = "") frames =
   | None -> None
 
 let client_hello t =
-  Printf.sprintf "CH:%s;md=%d;msd=%d" t.client_random initial_max_data
-    initial_max_stream_data
+  String.concat ""
+    [
+      "CH:";
+      t.client_random;
+      ";md=";
+      string_of_int initial_max_data;
+      ";msd=";
+      string_of_int initial_max_stream_data;
+    ]
 
 let concretize t symbol =
   match symbol with
@@ -232,11 +254,19 @@ type absorbed =
   | Junk of string
 
 let reset_tokens t =
-  List.sort_uniq compare
-    [
-      C.stateless_reset_token ~dcid:t.dcid;
-      C.stateless_reset_token ~dcid:t.odcid;
-    ]
+  (* memoized per (dcid, odcid): recomputed only when a Retry or a
+     server scid changes the destination cid, not on every datagram *)
+  if t.tokens_for_dcid != t.dcid || t.tokens_for_odcid != t.odcid then begin
+    t.tokens_for_dcid <- t.dcid;
+    t.tokens_for_odcid <- t.odcid;
+    t.tokens_ <-
+      List.sort_uniq compare
+        [
+          C.stateless_reset_token ~dcid:t.dcid;
+          C.stateless_reset_token ~dcid:t.odcid;
+        ]
+  end;
+  t.tokens_
 
 let parse_server_hello data =
   (* The SH may share a packet with other frames; CRYPTO data begins

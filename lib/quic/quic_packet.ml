@@ -73,9 +73,13 @@ let add_cid buf cid =
   Buffer.add_string buf cid
 
 let retry_integrity_tag ~dcid ~scid ~token =
-  String.init 8 (fun i ->
-      let h = Quic_crypto.hash64 (Printf.sprintf "retry|%s|%s|%s" dcid scid token) in
-      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical h (8 * i)) 0xFFL)))
+  (* one hash for the whole tag (the per-byte closure used to recompute
+     it eight times) *)
+  let h =
+    Int64.to_int
+      (Quic_crypto.hash64 (String.concat "|" [ "retry"; dcid; scid; token ]))
+  in
+  String.init 8 (fun i -> Char.unsafe_chr ((h lsr (8 * i)) land 0xFF))
 
 let encode ~crypto ~sender p =
   match p.ptype with

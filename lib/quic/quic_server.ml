@@ -194,9 +194,17 @@ let has_handshake_done frames =
 
 (* --- handshake steps --- *)
 
+let hex_digits = "0123456789abcdef"
+
 let to_hex s =
-  String.concat "" (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
-    (List.init (String.length s) (String.get s)))
+  let n = String.length s in
+  let b = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code (String.unsafe_get s i) in
+    Bytes.unsafe_set b (2 * i) (String.unsafe_get hex_digits (c lsr 4));
+    Bytes.unsafe_set b ((2 * i) + 1) (String.unsafe_get hex_digits (c land 0xF))
+  done;
+  Bytes.unsafe_to_string b
 
 let begin_handshake t ~port (p : P.t) ch_random md msd =
   t.client_cid <- p.P.scid;

@@ -9,20 +9,46 @@ let set_u32 b off v =
 let get_u16 s off = (Char.code s.[off] lsl 8) lor Char.code s.[off + 1]
 let get_u32 s off = (get_u16 s off lsl 16) lor get_u16 s (off + 2)
 
-(* RFC 1071 ones-complement checksum. *)
-let checksum data =
-  let len = String.length data in
-  let sum = ref 0 in
-  let i = ref 0 in
-  while !i + 1 < len do
-    sum := !sum + (Char.code data.[!i] lsl 8) + Char.code data.[!i + 1];
+(* RFC 1071 ones-complement checksum, split into a raw 16-bit word sum
+   and a finalizer. The sum over a concatenation of even-length pieces
+   equals the sum of per-piece sums, so callers fold pseudo-header
+   fields in as integers instead of materializing the concatenation. *)
+let sum_string acc s off len =
+  let sum = ref acc in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    sum :=
+      !sum
+      + (Char.code (String.unsafe_get s !i) lsl 8)
+      + Char.code (String.unsafe_get s (!i + 1));
     i := !i + 2
   done;
-  if !i < len then sum := !sum + (Char.code data.[!i] lsl 8);
+  if !i < stop then sum := !sum + (Char.code (String.unsafe_get s !i) lsl 8);
+  !sum
+
+let sum_bytes acc b off len =
+  let sum = ref acc in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    sum :=
+      !sum
+      + (Char.code (Bytes.unsafe_get b !i) lsl 8)
+      + Char.code (Bytes.unsafe_get b (!i + 1));
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Char.code (Bytes.unsafe_get b !i) lsl 8);
+  !sum
+
+let finish sum =
+  let sum = ref sum in
   while !sum lsr 16 <> 0 do
     sum := (!sum land 0xFFFF) + (!sum lsr 16)
   done;
   lnot !sum land 0xFFFF
+
+let checksum data = finish (sum_string 0 data 0 (String.length data))
 
 module Ipv4 = struct
   type t = { src : int; dst : int; ttl : int; protocol : int; payload : string }
@@ -41,9 +67,11 @@ module Ipv4 = struct
     Bytes.set b 9 (Char.chr (t.protocol land 0xFF));
     set_u32 b 12 t.src;
     set_u32 b 16 t.dst;
-    set_u16 b 10 (checksum (Bytes.sub_string b 0 header_len));
     Bytes.blit_string t.payload 0 b header_len (String.length t.payload);
-    Bytes.to_string b
+    (* checksum field is still zero here, so summing the header in
+       place is the sum-with-zeroed-field the RFC asks for *)
+    set_u16 b 10 (finish (sum_bytes 0 b 0 header_len));
+    Bytes.unsafe_to_string b
 
   let decode data =
     if String.length data < header_len then Error "ipv4: too short"
@@ -52,11 +80,12 @@ module Ipv4 = struct
       let total = get_u16 data 2 in
       if total > String.length data then Error "ipv4: truncated"
       else begin
-        let hdr = Bytes.of_string (String.sub data 0 header_len) in
         let received = get_u16 data 10 in
-        set_u16 hdr 10 0;
-        if checksum (Bytes.to_string hdr) <> received then
-          Error "ipv4: bad header checksum"
+        (* subtracting the stored checksum word from the raw sum is the
+           same as summing with the field zeroed (both lie on a 16-bit
+           word boundary) *)
+        if finish (sum_string 0 data 0 header_len - received) <> received
+        then Error "ipv4: bad header checksum"
         else
           Ok
             {
@@ -75,13 +104,14 @@ module Udp = struct
 
   let header_len = 8
 
-  let pseudo_header ~src_ip ~dst_ip ~length =
-    let b = Bytes.make 12 '\000' in
-    set_u32 b 0 src_ip;
-    set_u32 b 4 dst_ip;
-    Bytes.set b 9 (Char.chr Ipv4.udp_protocol);
-    set_u16 b 10 length;
-    Bytes.to_string b
+  (* the 12-byte (even-length) pseudo header folded directly into the
+     running sum: src ip, dst ip, protocol, UDP length *)
+  let pseudo_sum ~src_ip ~dst_ip ~length =
+    ((src_ip lsr 16) land 0xFFFF)
+    + (src_ip land 0xFFFF)
+    + ((dst_ip lsr 16) land 0xFFFF)
+    + (dst_ip land 0xFFFF)
+    + Ipv4.udp_protocol + length
 
   let encode ~src_ip ~dst_ip t =
     let total = header_len + String.length t.payload in
@@ -91,10 +121,10 @@ module Udp = struct
     set_u16 b 4 total;
     Bytes.blit_string t.payload 0 b header_len (String.length t.payload);
     let sum =
-      checksum (pseudo_header ~src_ip ~dst_ip ~length:total ^ Bytes.to_string b)
+      finish (sum_bytes (pseudo_sum ~src_ip ~dst_ip ~length:total) b 0 total)
     in
     set_u16 b 6 (if sum = 0 then 0xFFFF else sum);
-    Bytes.to_string b
+    Bytes.unsafe_to_string b
 
   let decode ~src_ip ~dst_ip data =
     if String.length data < header_len then Error "udp: too short"
@@ -103,12 +133,11 @@ module Udp = struct
       if total > String.length data || total < header_len then
         Error "udp: bad length"
       else begin
-        let zeroed = Bytes.of_string (String.sub data 0 total) in
         let received = get_u16 data 6 in
-        set_u16 zeroed 6 0;
         let sum =
-          checksum
-            (pseudo_header ~src_ip ~dst_ip ~length:total ^ Bytes.to_string zeroed)
+          finish
+            (sum_string (pseudo_sum ~src_ip ~dst_ip ~length:total) data 0 total
+            - received)
         in
         let sum = if sum = 0 then 0xFFFF else sum in
         if received <> 0 && sum <> received then Error "udp: bad checksum"

@@ -61,7 +61,12 @@ let fault_event t kind payload =
 let transmit t payload =
   t.transmitted <- t.transmitted + 1;
   Metrics.inc m_transmitted;
-  if Rng.bool t.rng t.cfg.loss then begin
+  if t.cfg.loss = 0. && t.cfg.corrupt = 0. && t.cfg.duplicate = 0. then
+    (* Fully reliable channel: skip the fault draws. No draw outcome
+       can differ from the general path (every probability is zero) and
+       the channel rng feeds nothing else, so delivery is identical. *)
+    [ payload ]
+  else if Rng.bool t.rng t.cfg.loss then begin
     t.dropped <- t.dropped + 1;
     Metrics.inc m_dropped;
     fault_event t "net.loss" payload;

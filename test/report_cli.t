@@ -45,3 +45,33 @@ A looser threshold lets the same candidate pass:
   benchmarks_ns_per_run.E1_learn: 1000 -> 900  (-10.0%)
   reports.quic:lstar.membership_queries: 400 -> 400
   reports.quic:lstar.states: 4 -> 4
+
+--counters-only is the zero-threshold CI gate over the deterministic
+effort counters: it ignores timings and the metrics registry snapshot,
+but fails on any counter change — improvements included — because a
+changed query stream means the run is no longer reproducing the
+baseline behaviour. Against itself it passes:
+
+  $ ../bin/prognosis_cli.exe report diff base.json cand.json --counters-only
+  counter gate: 1 deterministic counter(s) drifted
+    DRIFT reports.tcp:ttt.membership_queries: 1000 -> 1300
+  [1]
+
+  $ cat > cand2.json <<'EOF2'
+  > {"reports":[
+  >    {"subject":"tcp","algorithm":"ttt","membership_queries":990,"states":6},
+  >    {"subject":"quic","algorithm":"lstar","membership_queries":400,"states":4}],
+  >  "benchmarks_ns_per_run":{"E1_learn":450.0},
+  >  "metrics":{"counters":{"exec.batch":99}}}
+  > EOF2
+
+A 2x benchmark speedup, a new metrics-registry counter and a reordered
+report list are all fine; the 1% counter *improvement* is not:
+
+  $ ../bin/prognosis_cli.exe report diff base.json cand2.json --counters-only
+  counter gate: 1 deterministic counter(s) drifted
+    DRIFT reports.tcp:ttt.membership_queries: 1000 -> 990
+  [1]
+
+  $ ../bin/prognosis_cli.exe report diff base.json base.json --counters-only
+  counter gate: ok (2 deterministic counters identical)
