@@ -1136,6 +1136,161 @@ let f1_fingerprint () =
       ("novel_reidentify_words", Jsonx.Int second.Identify.words_asked);
     ]
 
+(* --- F2: fleet identification over a shared, sharded cache --- *)
+
+module Service = Prognosis_service.Service
+module Subject = Prognosis_service.Subject
+
+let f2_fleet () =
+  section "F2"
+    "Fleet identification: domain-parallel sessions over one shared sharded \
+     cache (new)";
+  let module Jsonx = Prognosis_obs.Jsonx in
+  let subj name =
+    match Subject.of_name name with
+    | Ok s -> s
+    | Error e -> failwith ("F2: " ^ e)
+  in
+  (* the F1 population doubles as an in-memory library: its entry
+     names are exactly the service's subject spellings *)
+  let entries =
+    List.map
+      (fun e -> Library.entry_of_model ~name:e.f_name ~kind:e.f_kind e.f_model)
+      (f1_endpoints ())
+  in
+  let lib = { Library.dir = "(in-memory)"; entries } in
+  (* a 12-endpoint mixed population: every library subject appears at
+     least once, the popular ones several times with distinct seeds *)
+  let population =
+    [
+      ("tcp", 101L); ("quic:quiche-like", 102L); ("tcp", 103L);
+      ("dtls", 104L); ("quic:google-like", 105L); ("tcp", 106L);
+      ("quic:quiche-like", 107L); ("dtls", 108L); ("quic:strict-retry", 109L);
+      ("tcp", 110L); ("quic:quiche-like", 111L); ("quic:google-like", 112L);
+    ]
+  in
+  let jobs =
+    List.map
+      (fun (name, seed) -> Service.job ~seed Service.Identify (subj name))
+      population
+  in
+  let run ~domains jobs =
+    match Service.run ~domains ~library:lib ~jobs () with
+    | Ok t -> t
+    | Error e -> failwith ("F2: " ^ e)
+  in
+  (* gated counters come from the sequential fleet — deterministic in
+     job order; the domain pool is timed separately below and feeds
+     the advisory gate only *)
+  let fleet = run ~domains:1 jobs in
+  List.iter2
+    (fun (name, _) (s : Service.session) ->
+      match s.Service.outcome with
+      | Service.Identified { Identify.outcome = Identify.Known e; _ }
+        when e.Library.name = name ->
+          ()
+      | _ -> failwith ("F2: fleet misidentified " ^ name))
+    population fleet.Service.sessions;
+  let cold =
+    List.fold_left
+      (fun acc job ->
+        acc + Service.total_membership_queries (run ~domains:1 [ job ]))
+      0 jobs
+  in
+  let fleet_q = Service.total_membership_queries fleet in
+  let ratio = float_of_int fleet_q /. float_of_int cold in
+  print_table
+    [ "population"; "fleet queries"; "12 cold runs"; "ratio"; "shared hits" ]
+    [
+      [
+        string_of_int (List.length population);
+        string_of_int fleet_q;
+        string_of_int cold;
+        Printf.sprintf "%.1f%%" (100. *. ratio);
+        string_of_int (Service.shared_hits fleet);
+      ];
+    ];
+  if ratio > 0.60 then
+    failwith "F2: fleet identification exceeds 60% of cold-run queries";
+  (* wall-clock throughput on the domain pool (advisory only: the
+     counter gate never looks at wall-clock figures) *)
+  let timed_domains = min 4 (Domain.recommended_domain_count ()) in
+  let timed = run ~domains:timed_domains jobs in
+  Printf.printf
+    "\nfleet of %d sessions on %d domain(s): %.2f sessions/s (%.3fs)\n"
+    (List.length population) timed.Service.domains
+    timed.Service.sessions_per_sec timed.Service.elapsed_s;
+  (* a known endpoint behind a lossy, duplicating channel: replica
+     voting absorbs the faults and identification still lands Known *)
+  let lossy_subject =
+    let base = subj "tcp" in
+    {
+      base with
+      Subject.name = "tcp(lossy)";
+      factory =
+        (fun ~seed ~workers ->
+          Subject.seeded_factory
+            (fun wseed ->
+              Prognosis_sul.Sul.strings
+                ~symbols:Prognosis_tcp.Tcp_alphabet.all
+                ~to_string:Prognosis_tcp.Tcp_alphabet.to_string
+                ~output_to_string:Prognosis_tcp.Tcp_alphabet.output_to_string
+                (Prognosis_tcp.Tcp_adapter.sul
+                   ~network:
+                     {
+                       Prognosis_sul.Network.loss = 0.01;
+                       duplicate = 0.01;
+                       corrupt = 0.0;
+                     }
+                   ~seed:wseed ()))
+            ~seed ~workers);
+    }
+  in
+  (* 3 replicas vote per word; 6 workers leave an escalation pool for
+     the strict-majority re-run when the first three disagree *)
+  let vote_config =
+    {
+      Service.default_config with
+      Prognosis_exec.Engine.workers = 6;
+      replicas = 3;
+    }
+  in
+  let lossy =
+    match
+      Service.run ~domains:1 ~config:vote_config ~library:lib
+        ~jobs:[ Service.job ~seed:7L Service.Identify lossy_subject ]
+        ()
+    with
+    | Ok t -> t
+    | Error e -> failwith ("F2: lossy sub-case: " ^ e)
+  in
+  (match lossy.Service.sessions with
+  | [
+   {
+     Service.outcome =
+       Service.Identified { Identify.outcome = Identify.Known e; _ };
+     _;
+   };
+  ]
+    when e.Library.name = "tcp" ->
+      Printf.printf
+        "lossy channel (1%% loss, 1%% duplication, 3-replica voting): \
+         identified as %s\n"
+        e.Library.name
+  | _ -> failwith "F2: lossy endpoint not identified as tcp");
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.String "prognosis.service-bench/1");
+      ("population", Jsonx.Int (List.length population));
+      ("fleet", Jsonx.Obj [ ("membership_queries", Jsonx.Int fleet_q) ]);
+      ("cold", Jsonx.Obj [ ("membership_queries", Jsonx.Int cold) ]);
+      ("query_ratio_pct", Jsonx.Float (100. *. ratio));
+      ("shared_cache_hits", Jsonx.Int (Service.shared_hits fleet));
+      ("timed_domains", Jsonx.Int timed.Service.domains);
+      ("sessions_per_sec", Jsonx.Float timed.Service.sessions_per_sec);
+      ("service", Service.to_json fleet);
+    ]
+
 let figs () =
   section "FIGS" "Graphviz renderings of the learned models (paper Fig. 3, App. A)";
   let dir = "figures" in
@@ -1303,7 +1458,7 @@ let determinism_guard () =
     "determinism guard: repeated identical-seed runs produce identical \
      counter blocks"
 
-let write_snapshot ~fingerprint bench_rows =
+let write_snapshot ~fingerprint ~service bench_rows =
   let module Jsonx = Prognosis_obs.Jsonx in
   let module Metrics = Prognosis_obs.Metrics in
   determinism_guard ();
@@ -1357,10 +1512,12 @@ let write_snapshot ~fingerprint bench_rows =
   let json =
     Jsonx.Obj
       [
-        ("schema", Jsonx.String "prognosis.bench/3");
+        (* /4: adds the "service" block (F2 fleet identification) *)
+        ("schema", Jsonx.String "prognosis.bench/4");
         ("reports", Jsonx.List reports);
         ("exec", exec_block);
         ("fingerprint", fingerprint);
+        ("service", service);
         ("benchmarks_ns_per_run", Jsonx.Obj benchmarks);
         ("metrics", Metrics.to_json Metrics.default);
       ]
@@ -1395,7 +1552,8 @@ let () =
   x3_client_role ();
   x4_interop_matrix ();
   let fingerprint = f1_fingerprint () in
+  let service = f2_fleet () in
   figs ();
   let bench_rows = benchmarks () in
-  write_snapshot ~fingerprint bench_rows;
+  write_snapshot ~fingerprint ~service bench_rows;
   print_newline ()

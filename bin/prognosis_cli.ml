@@ -8,16 +8,7 @@ module Mealy = Prognosis_automata.Mealy
 module Learn = Prognosis_learner.Learn
 open Prognosis
 
-let profile_of_name name =
-  match Prognosis_quic.Quic_profile.find name with
-  | Some p -> Ok p
-  | None ->
-      Error
-        (Printf.sprintf "unknown profile %S (available: %s)" name
-           (String.concat ", "
-              (List.map
-                 (fun p -> p.Prognosis_quic.Quic_profile.name)
-                 Prognosis_quic.Quic_profile.all)))
+let profile_of_name = Prognosis_service.Subject.profile_of_name
 
 (* --- common options --- *)
 
@@ -1249,124 +1240,14 @@ let report_cmd =
 module Library = Prognosis_fingerprint.Library
 module Splitter = Prognosis_fingerprint.Splitter
 module Identify = Prognosis_fingerprint.Identify
-module Sul = Prognosis_sul.Sul
 
-(* An identifiable subject: a live endpoint the CLI can both probe
-   (engine worker factory) and, on a Novel verdict, learn in full. *)
-type subject = {
-  s_name : string;
-  s_kind : Persist.kind;
-  s_factory : seed:int64 -> workers:int -> int -> (string, string) Sul.t;
-  s_learn :
-    seed:int64 ->
-    algorithm:Learn.algorithm ->
-    exec:Prognosis_exec.Engine.config option ->
-    (string, string) Mealy.t * Report.t;
-}
+(* An identifiable subject — a live endpoint the CLI can both probe
+   (engine worker factory) and, on a Novel verdict, learn in full —
+   now lives in [lib/service] so the fleet scheduler can use it too. *)
+module Subject = Prognosis_service.Subject
+module Service = Prognosis_service.Service
 
-let seeded_factory make ~seed ~workers =
-  let master = Prognosis_sul.Rng.create seed in
-  let wseeds =
-    Array.map Prognosis_sul.Rng.next64 (Prognosis_sul.Rng.split_n master workers)
-  in
-  fun i -> make wseeds.(i)
-
-let tcp_subject name server_config =
-  let module A = Prognosis_tcp.Tcp_alphabet in
-  let wrap =
-    Sul.strings ~symbols:A.all ~to_string:A.to_string
-      ~output_to_string:A.output_to_string
-  in
-  {
-    s_name = name;
-    s_kind = Persist.Tcp_model;
-    s_factory =
-      (fun ~seed ~workers ->
-        seeded_factory
-          (fun wseed ->
-            wrap (Prognosis_tcp.Tcp_adapter.sul ~server_config ~seed:wseed ()))
-          ~seed ~workers);
-    s_learn =
-      (fun ~seed ~algorithm ~exec ->
-        let r = Tcp_study.learn ~seed ~algorithm ~server_config ?exec () in
-        ( Persist.to_string_model ~input_to_string:A.to_string
-            ~output_to_string:A.output_to_string r.Tcp_study.model,
-          r.Tcp_study.report ));
-  }
-
-let dtls_subject name server_config =
-  let module A = Prognosis_dtls.Dtls_alphabet in
-  let wrap =
-    Sul.strings ~symbols:A.all ~to_string:A.to_string
-      ~output_to_string:A.output_to_string
-  in
-  {
-    s_name = name;
-    s_kind = Persist.Dtls_model;
-    s_factory =
-      (fun ~seed ~workers ->
-        seeded_factory
-          (fun wseed ->
-            wrap (Prognosis_dtls.Dtls_adapter.sul ~server_config ~seed:wseed ()))
-          ~seed ~workers);
-    s_learn =
-      (fun ~seed ~algorithm ~exec ->
-        let r = Dtls_study.learn ~seed ~algorithm ~server_config ?exec () in
-        ( Persist.to_string_model ~input_to_string:A.to_string
-            ~output_to_string:A.output_to_string r.Dtls_study.model,
-          r.Dtls_study.report ));
-  }
-
-let quic_subject name profile =
-  let module A = Prognosis_quic.Quic_alphabet in
-  let wrap =
-    Sul.strings ~symbols:A.all ~to_string:A.to_string
-      ~output_to_string:A.output_to_string
-  in
-  {
-    s_name = name;
-    s_kind = Persist.Quic_model;
-    s_factory =
-      (fun ~seed ~workers ->
-        seeded_factory
-          (fun wseed -> wrap (Prognosis_quic.Quic_adapter.sul ~profile ~seed:wseed ()))
-          ~seed ~workers);
-    s_learn =
-      (fun ~seed ~algorithm ~exec ->
-        let r = Quic_study.learn ~seed ~algorithm ?exec ~profile () in
-        ( Persist.to_string_model ~input_to_string:A.to_string
-            ~output_to_string:A.output_to_string r.Quic_study.model,
-          r.Quic_study.report ));
-  }
-
-let subject_names =
-  [
-    "tcp"; "tcp:persistent"; "tcp:no-challenge"; "dtls"; "dtls:no-cookie";
-    "dtls:lax-ccs"; "quic:<profile>";
-  ]
-
-let subject_of_name name =
-  let module T = Prognosis_tcp.Tcp_server in
-  let module D = Prognosis_dtls.Dtls_server in
-  match name with
-  | "tcp" -> Ok (tcp_subject name T.default_config)
-  | "tcp:persistent" ->
-      Ok (tcp_subject name { T.default_config with T.one_shot = false })
-  | "tcp:no-challenge" ->
-      Ok (tcp_subject name { T.default_config with T.challenge_acks = false })
-  | "dtls" -> Ok (dtls_subject name D.default_config)
-  | "dtls:no-cookie" ->
-      Ok (dtls_subject name { D.default_config with D.require_cookie = false })
-  | "dtls:lax-ccs" ->
-      Ok (dtls_subject name { D.default_config with D.strict_ccs = false })
-  | _ when String.length name > 5 && String.sub name 0 5 = "quic:" ->
-      Result.map
-        (quic_subject name)
-        (profile_of_name (String.sub name 5 (String.length name - 5)))
-  | _ ->
-      Error
-        (Printf.sprintf "unknown subject %S (available: %s)" name
-           (String.concat ", " subject_names))
+let subject_of_name = Subject.of_name
 
 let library_dir_pos =
   let doc = "Library directory (holds *.model files plus library.json)." in
@@ -1379,9 +1260,9 @@ let do_library_build () dir subjects seed algorithm workers batch parallel
   List.iter
     (fun name ->
       let s = or_die (subject_of_name name) in
-      Format.printf "learning %s...@." s.s_name;
-      let model, report = s.s_learn ~seed ~algorithm ~exec in
-      let entry = Library.entry_of_model ~name:s.s_name ~kind:s.s_kind model in
+      Format.printf "learning %s...@." s.Subject.name;
+      let model, report = s.Subject.learn ~seed ~algorithm ~exec in
+      let entry = Library.entry_of_model ~name:s.Subject.name ~kind:s.Subject.kind model in
       Prognosis_obs.Atomic_file.write
         ~path:(Filename.concat dir entry.Library.file)
         entry.Library.text;
@@ -1483,7 +1364,7 @@ let do_identify () dir subject_name name_override seed algorithm workers batch
   let lib = or_die (Library.load ~dir) in
   let forest = or_die (Splitter.of_library lib) in
   let tree =
-    Option.value ~default:(Splitter.Leaf None) (List.assoc_opt s.s_kind forest)
+    Option.value ~default:(Splitter.Leaf None) (List.assoc_opt s.Subject.kind forest)
   in
   Prognosis_obs.Metrics.reset Prognosis_obs.Metrics.default;
   let tracing = trace_out <> None in
@@ -1505,7 +1386,7 @@ let do_identify () dir subject_name name_override seed algorithm workers batch
     }
   in
   let engine =
-    Prognosis_exec.Engine.create ~config ~factory:(s.s_factory ~seed ~workers) ()
+    Prognosis_exec.Engine.create ~config ~factory:(s.Subject.factory ~seed ~workers) ()
   in
   let mq = Prognosis_exec.Engine.membership engine in
   let result =
@@ -1530,15 +1411,15 @@ let do_identify () dir subject_name name_override seed algorithm workers batch
   | Identify.Novel _ -> (
       Format.printf "novel endpoint: learning a full model...@.";
       let exec = exec_of_flags ~workers ~batch:true ~parallel ~replicas in
-      let model, report = s.s_learn ~seed ~algorithm ~exec in
+      let model, report = s.Subject.learn ~seed ~algorithm ~exec in
       Format.printf "learned %d states in %d membership queries@."
         report.Report.states report.Report.membership_queries;
       let name =
         match name_override with
         | Some n -> n
-        | None -> fresh_entry_name lib s.s_name
+        | None -> fresh_entry_name lib s.Subject.name
       in
-      match or_die (Library.add lib ~name ~kind:s.s_kind model) with
+      match or_die (Library.add lib ~name ~kind:s.Subject.kind model) with
       | Library.Added lib' ->
           Format.printf "library extended: %s (%d entries)@." name
             (List.length lib'.Library.entries)
@@ -1558,7 +1439,7 @@ let do_identify () dir subject_name name_override seed algorithm workers batch
         | Identify.Novel _ -> (0, 0)
       in
       let alphabet =
-        match List.filter (fun (e : Library.entry) -> e.Library.kind = s.s_kind) lib.Library.entries with
+        match List.filter (fun (e : Library.entry) -> e.Library.kind = s.Subject.kind) lib.Library.entries with
         | e :: _ -> Mealy.alphabet_size e.Library.model
         | [] -> 0
       in
@@ -1578,6 +1459,7 @@ let do_identify () dir subject_name name_override seed algorithm workers batch
             alphabet;
             exec = Some (Prognosis_exec.Engine.stats_json engine);
             identification = Some (Identify.to_json result);
+            service = None;
           }
       in
       (try
@@ -1629,14 +1511,111 @@ let identify_cmd =
       $ algorithm $ workers_arg $ batch_arg $ parallel_arg $ replicas_arg
       $ no_extend $ metrics_out $ trace_out)
 
+(* --- serve: domain-parallel fleet sessions --- *)
+
+let do_serve () jobs_file domains shards workers parallel replicas library_dir
+    metrics_out =
+  Prognosis_obs.Metrics.reset Prognosis_obs.Metrics.default;
+  let jobs = or_die (Result.bind (read_file jobs_file) Service.jobs_of_string) in
+  let library =
+    Option.map (fun dir -> or_die (Library.load ~dir)) library_dir
+  in
+  let config =
+    { Service.default_config with Prognosis_exec.Engine.workers; parallel; replicas }
+  in
+  let summary =
+    match Service.run ~domains ~shards ~config ?library ~jobs () with
+    | Ok s -> s
+    | Error e -> or_die (Error e)
+    | exception Prognosis_sul.Nondet.Nondeterministic_sul msg ->
+        or_die
+          (Error
+             ("nondeterministic endpoint: " ^ msg
+            ^ ". Investigate with `prognosis nondet`."))
+  in
+  Format.printf "@[<v>%a@]@." Service.pp summary;
+  match metrics_out with
+  | None -> ()
+  | Some path ->
+      let sum f = List.fold_left (fun acc s -> acc + f s) 0 summary.Service.sessions in
+      let report =
+        Report.
+          {
+            subject = "fleet";
+            algorithm = "serve";
+            states = 0;
+            transitions = 0;
+            membership_queries = sum (fun s -> s.Service.membership_queries);
+            membership_symbols = sum (fun s -> s.Service.membership_symbols);
+            cache_hits = Service.shared_hits summary;
+            cache_misses =
+              List.fold_left
+                (fun acc (c : Service.shared_cache) -> acc + c.Service.misses)
+                0 summary.Service.shared;
+            equivalence_rounds = 0;
+            test_words = sum (fun s -> s.Service.test_words);
+            alphabet = 0;
+            exec = None;
+            identification = None;
+            service = Some (Service.to_json summary);
+          }
+      in
+      (try
+         Prognosis_obs.Atomic_file.write ~path
+           (Report.to_json_string ~metrics:Prognosis_obs.Metrics.default report
+           ^ "\n")
+       with Sys_error msg -> or_die (Error ("cannot write metrics file: " ^ msg)));
+      Format.printf "metrics written to %s@." path
+
+let serve_cmd =
+  let doc =
+    "Run a fleet of learning and identification sessions on an OCaml domain \
+     pool: every session owns its own query-execution engine, sessions \
+     probing the same endpoint configuration share one sharded membership \
+     cache, and identify sessions walk one resident classification tree. \
+     Results merge deterministically in job order."
+  in
+  let jobs_arg =
+    let doc =
+      "Job list (prognosis.jobs/1): {\"schema\": \"prognosis.jobs/1\", \
+       \"jobs\": [{\"op\": \"learn\"|\"identify\", \"subject\": SUBJECT, \
+       \"seed\": N, \"algorithm\": \"ttt\"|\"lstar\"}, ...]}."
+    in
+    Arg.(required & opt (some string) None & info [ "jobs" ] ~docv:"FILE" ~doc)
+  in
+  let domains_arg =
+    let doc =
+      "Number of OCaml domains running sessions (clamped to the job count; 1 \
+       keeps the fleet sequential and its per-session counters \
+       deterministic)."
+    in
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let shards_arg =
+    let doc = "Shard count of each shared membership cache." in
+    Arg.(value & opt int 8 & info [ "shards" ] ~docv:"K" ~doc)
+  in
+  let library_arg =
+    let doc =
+      "Model library directory, required when any job identifies (see \
+       `prognosis library build`)."
+    in
+    Arg.(value & opt (some string) None & info [ "library" ] ~docv:"DIR" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const do_serve $ verbose $ jobs_arg $ domains_arg $ shards_arg
+      $ workers_arg $ parallel_arg $ replicas_arg $ library_arg $ metrics_out)
+
 let main =
   let doc = "closed-box learning and analysis of protocol implementations" in
   Cmd.group
     (Cmd.info "prognosis" ~version:"1.0.0" ~doc)
     [
       learn_cmd; resume_cmd; ci_cmd; compare_cmd; nondet_cmd; synthesize_cmd;
-      check_cmd; difftest_cmd; identify_cmd; library_cmd; render_cmd;
-      replay_cmd; trace_cmd; report_cmd;
+      check_cmd; difftest_cmd; identify_cmd; library_cmd; serve_cmd;
+      render_cmd; replay_cmd; trace_cmd; report_cmd;
     ]
 
 let () = exit (Cmd.eval main)

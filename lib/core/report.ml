@@ -18,6 +18,7 @@ type t = {
   alphabet : int;
   exec : Jsonx.t option;
   identification : Jsonx.t option;
+  service : Jsonx.t option;
 }
 
 let of_learn_result ~subject ~algorithm ?exec (r : ('i, 'o) Learn.result) =
@@ -38,9 +39,11 @@ let of_learn_result ~subject ~algorithm ?exec (r : ('i, 'o) Learn.result) =
     alphabet = Mealy.alphabet_size r.Learn.model;
     exec;
     identification = None;
+    service = None;
   }
 
 let with_identification ident t = { t with identification = Some ident }
+let with_service service t = { t with service = Some service }
 
 let cache_hit_rate t =
   let total = t.cache_hits + t.cache_misses in
@@ -111,6 +114,11 @@ let to_json ?metrics t =
     match t.identification with
     | None -> fields
     | Some i -> fields @ [ ("identification", i) ]
+  in
+  let fields =
+    match t.service with
+    | None -> fields
+    | Some s -> fields @ [ ("service", s) ]
   in
   let fields =
     match metrics with

@@ -24,6 +24,9 @@ type t = {
       (** fingerprint-identification stats
           ([prognosis.identification/1]) when the run came from
           [prognosis identify] — see [lib/fingerprint] *)
+  service : Prognosis_obs.Jsonx.t option;
+      (** fleet-scheduler stats ([prognosis.service/1]) when the run
+          came from [prognosis serve] — see [lib/service] *)
 }
 
 val of_learn_result :
@@ -36,6 +39,10 @@ val of_learn_result :
 val with_identification : Prognosis_obs.Jsonx.t -> t -> t
 (** Attach a [prognosis.identification/1] block; {!to_json} then
     emits it as an ["identification"] field. *)
+
+val with_service : Prognosis_obs.Jsonx.t -> t -> t
+(** Attach a [prognosis.service/1] block; {!to_json} then emits it as
+    a ["service"] field. *)
 
 val trace_count : t -> max_len:int -> int
 (** Number of input words of length ≤ [max_len] over this alphabet

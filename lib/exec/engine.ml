@@ -80,6 +80,9 @@ type ('i, 'o) t = {
   oracle_stats : Oracle.stats;
   mutable clock : int; (* total runs executed, for quarantine cooldowns *)
   mutable rr : int; (* round-robin cursor for replica selection *)
+  labels : (string * string) list;
+      (* extra labels (e.g. session=..) prefixed to every per-worker
+         labelled metric, so concurrent engines don't share series *)
   (* per-worker labelled gauges (exec.worker.*{worker="i"}), obtained
      once at pool creation and written on the main domain in [flush] *)
   worker_gauges : (float ref * float ref * float ref) array;
@@ -102,15 +105,17 @@ let m_quarantines = Metrics.counter Metrics.default "exec.quarantines"
 let g_workers = Metrics.gauge Metrics.default "exec.workers"
 let g_utilization = Metrics.gauge Metrics.default "exec.worker_utilization"
 
-let worker_label id = [ ("worker", string_of_int id) ]
+let worker_label labels id = labels @ [ ("worker", string_of_int id) ]
 
-let worker_strikes id =
-  Metrics.counter_l Metrics.default "exec.worker.strikes" (worker_label id)
+let worker_strikes labels id =
+  Metrics.counter_l Metrics.default "exec.worker.strikes"
+    (worker_label labels id)
 
-let worker_quarantines id =
-  Metrics.counter_l Metrics.default "exec.worker.quarantines" (worker_label id)
+let worker_quarantines labels id =
+  Metrics.counter_l Metrics.default "exec.worker.quarantines"
+    (worker_label labels id)
 
-let create ?(config = default) ?cache ~factory () =
+let create ?(config = default) ?(labels = []) ?cache ~factory () =
   if config.workers < 1 then invalid_arg "Engine.create: workers must be >= 1";
   if config.replicas < 1 then
     invalid_arg "Engine.create: replicas must be >= 1";
@@ -132,10 +137,12 @@ let create ?(config = default) ?cache ~factory () =
   Metrics.set g_workers (float_of_int config.workers);
   let worker_gauges =
     Array.init config.workers (fun id ->
-        ( Metrics.gauge_l Metrics.default "exec.worker.runs" (worker_label id),
-          Metrics.gauge_l Metrics.default "exec.worker.resets" (worker_label id),
-          Metrics.gauge_l Metrics.default "exec.worker.steps" (worker_label id)
-        ))
+        ( Metrics.gauge_l Metrics.default "exec.worker.runs"
+            (worker_label labels id),
+          Metrics.gauge_l Metrics.default "exec.worker.resets"
+            (worker_label labels id),
+          Metrics.gauge_l Metrics.default "exec.worker.steps"
+            (worker_label labels id) ))
   in
   {
     config;
@@ -145,6 +152,7 @@ let create ?(config = default) ?cache ~factory () =
     oracle_stats = Oracle.fresh_stats ();
     clock = 0;
     rr = 0;
+    labels;
     worker_gauges;
   }
 
@@ -342,7 +350,7 @@ let tally answers =
 
 let strike t worker =
   worker.strikes <- worker.strikes + 1;
-  Metrics.inc (worker_strikes worker.id);
+  Metrics.inc (worker_strikes t.labels worker.id);
   if
     worker.strikes >= t.config.max_strikes
     && List.length (active_workers t) > 1
@@ -352,7 +360,7 @@ let strike t worker =
     worker.position <- None;
     t.stats.quarantines <- t.stats.quarantines + 1;
     Metrics.inc m_quarantines;
-    Metrics.inc (worker_quarantines worker.id);
+    Metrics.inc (worker_quarantines t.labels worker.id);
     if Trace.enabled () then
       Trace.event
         ~attrs:

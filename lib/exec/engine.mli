@@ -53,6 +53,7 @@ type ('i, 'o) t
 
 val create :
   ?config:config ->
+  ?labels:(string * string) list ->
   ?cache:('i, 'o) Prognosis_learner.Cache.t ->
   factory:(int -> ('i, 'o) Prognosis_sul.Sul.t) ->
   unit ->
@@ -60,6 +61,10 @@ val create :
 (** [create ~factory ()] builds the pool; [factory i] must return an
     independent SUL instance for worker [i] (give each its own
     {!Prognosis_sul.Rng} stream — see {!Prognosis_sul.Rng.split}).
+    [?labels] (default [[]]) is prefixed to every per-worker labelled
+    metric ([exec.worker.*]) this engine registers — fleet sessions
+    pass [[("session", ..)]] so concurrently live engines keep
+    distinct series instead of clobbering each other's gauges.
     [?cache] substitutes an external query cache for the engine's
     fresh one — a checkpoint session's pre-warmed cache
     ({!Prognosis_learner.Checkpoint.cache}) turns a resumed run's

@@ -1,6 +1,9 @@
 module Mealy = Prognosis_automata.Mealy
 module Model_diff = Prognosis_analysis.Model_diff
 module Jsonx = Prognosis_obs.Jsonx
+module Metrics = Prognosis_obs.Metrics
+
+let g_depth = Metrics.gauge Metrics.default "splitter.depth"
 
 type tree =
   | Leaf of Library.entry option
@@ -155,6 +158,42 @@ let stats tree =
           branches
   in
   go tree
+
+let set_depth_gauge tree =
+  Metrics.set g_depth (float_of_int (stats tree).depth)
+
+let entries tree =
+  let rec go t acc =
+    match t with
+    | Leaf None -> acc
+    | Leaf (Some e) -> e :: acc
+    | Node { branches; _ } ->
+        List.fold_left (fun acc (_, sub) -> go sub acc) acc branches
+  in
+  List.rev (go tree [])
+
+(* Incremental {!insert} only ever deepens the tree (a colliding
+   branch grows a new node under the old leaf), so a long-lived
+   service accumulating entries drifts towards a chain. A balanced
+   rebuild is worthwhile once the depth exceeds twice the
+   information-theoretic floor of log2(leaves); below that the
+   incremental tree is close enough that rebuilding buys little. *)
+let rebuild_if_skewed tree =
+  let s = stats tree in
+  let skewed =
+    s.leaves >= 2
+    && float_of_int s.depth > 2.0 *. (Float.log (float_of_int s.leaves) /. Float.log 2.0)
+  in
+  if not skewed then begin
+    set_depth_gauge tree;
+    Ok (tree, false)
+  end
+  else
+    match build (entries tree) with
+    | Error _ as e -> e
+    | Ok rebuilt ->
+        set_depth_gauge rebuilt;
+        Ok (rebuilt, true)
 
 let word_json w = Jsonx.List (List.map (fun s -> Jsonx.String s) w)
 

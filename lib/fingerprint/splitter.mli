@@ -64,5 +64,19 @@ type stats = {
 
 val stats : tree -> stats
 
+val entries : tree -> Library.entry list
+(** Populated leaves in branch-sorted depth-first order — the
+    deterministic entry enumeration {!rebuild_if_skewed} feeds back
+    into {!build}. *)
+
+val rebuild_if_skewed : tree -> (tree * bool, string) result
+(** Rebalance a tree degraded by many incremental {!insert}s: when
+    the depth exceeds [2 × log₂ leaves], rebuild from scratch over
+    {!entries} (returning [(rebuilt, true)]); otherwise return the
+    tree unchanged ([(tree, false)]). Either way the [splitter.depth]
+    gauge in {!Prognosis_obs.Metrics.default} is set to the resulting
+    depth. Errors propagate from {!build} (they indicate a corrupted
+    tree — duplicate or alphabet-mismatched leaves). *)
+
 val to_json : tree -> Prognosis_obs.Jsonx.t
 val pp : Format.formatter -> tree -> unit

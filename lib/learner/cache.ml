@@ -16,8 +16,9 @@ module Metrics = Prognosis_obs.Metrics
    already follows. *)
 
 type node = {
-  mutable path : int array; (* compressed edge into this subtree *)
-  mutable pouts : int array; (* output ids along the edge; same length *)
+  path : int array; (* compressed edge into this subtree; immutable
+                       once the node is reachable (see [split]) *)
+  pouts : int array; (* output ids along the edge; same length *)
   mutable kids : node list; (* sorted by [path.(0)]; first ids distinct *)
 }
 
@@ -101,10 +102,15 @@ let insert_sorted kid kids =
   in
   go kids
 
-(* Split [kid]'s edge after its first [j] symbols: [kid] becomes the
-   j-long head in place (so the parent's child list is untouched) and a
-   fresh tail node inherits the rest of the edge and the children. *)
-let split t kid j =
+(* Split [kid]'s edge after its first [j] symbols. Mutation is
+   publication-safe for lock-free concurrent readers ({!Sharded}): a
+   reachable node's [path]/[pouts] arrays are never shrunk or
+   overwritten in place. Instead a fresh head node (carrying the first
+   [j] symbols, with a fresh tail inheriting the rest) replaces [kid]
+   in [parent]'s child list with one pointer write, so a racing lookup
+   sees either the old consistent node or the new consistent pair —
+   never a half-mutated edge. *)
+let split t parent kid j =
   let len = Array.length kid.path in
   let tail =
     {
@@ -113,10 +119,16 @@ let split t kid j =
       kids = kid.kids;
     }
   in
-  kid.path <- Array.sub kid.path 0 j;
-  kid.pouts <- Array.sub kid.pouts 0 j;
-  kid.kids <- [ tail ];
-  t.phys <- t.phys + 1
+  let head =
+    {
+      path = Array.sub kid.path 0 j;
+      pouts = Array.sub kid.pouts 0 j;
+      kids = [ tail ];
+    }
+  in
+  parent.kids <- List.map (fun k -> if k == kid then head else k) parent.kids;
+  t.phys <- t.phys + 1;
+  head
 
 let insert t word outputs =
   if List.length word <> List.length outputs then
@@ -135,8 +147,8 @@ let insert t word outputs =
         let xi = intern_sym t x in
         match find_kid node.kids xi with
         | None -> node.kids <- insert_sorted (fresh_leaf word outs) node.kids
-        | Some kid -> in_edge kid 0 word outs)
-  and in_edge kid j word outs =
+        | Some kid -> in_edge node kid 0 word outs)
+  and in_edge parent kid j word outs =
     if j = Array.length kid.path then at_node kid word outs
     else
       match (word, outs) with
@@ -145,12 +157,12 @@ let insert t word outputs =
           let xi = intern_sym t x in
           if xi = kid.path.(j) then begin
             if intern_out t o <> kid.pouts.(j) then conflict ();
-            in_edge kid (j + 1) word' outs'
+            in_edge parent kid (j + 1) word' outs'
           end
           else begin
             (* Diverges mid-edge: split, then branch off the head. *)
-            split t kid j;
-            kid.kids <- insert_sorted (fresh_leaf word outs) kid.kids
+            let head = split t parent kid j in
+            head.kids <- insert_sorted (fresh_leaf word outs) head.kids
           end
       | _ -> assert false
   in
@@ -357,3 +369,202 @@ let wrap t (mq : ('i, 'o) Oracle.membership) =
       mq.Oracle.ask_batch
   in
   { mq with Oracle.ask; ask_batch }
+
+(* --- Sharded facade -------------------------------------------------
+
+   K independent tries, each guarded by a mutex taken only on insert,
+   so fleet sessions on different domains can populate one shared
+   membership cache. Lookups are optimistic and lock-free: each shard
+   carries a seqlock-style generation counter (odd while an insert is
+   in flight), and a lookup that overlaps a write on its shard discards
+   the answer and retries under the shard mutex. Combined with the
+   publication-safe [insert] above (reachable nodes are never mutated
+   into inconsistent states), a racing reader can at worst observe a
+   stale-but-consistent trie — and the generation check rejects even
+   that before the answer escapes.
+
+   Sharding is keyed by the word's first symbol (the root of the
+   interning: per-shard interned ids depend on each shard's insertion
+   history, so the stable equivalent of "hash of the first interned
+   symbols" is a hash of the first symbol's value). Keying on the
+   first symbol alone keeps every prefix of a word in the same shard,
+   which [lookup_longest_prefix] and the canonical [dump] merge rely
+   on. *)
+
+module Sharded = struct
+  type ('i, 'o) shard = {
+    trie : ('i, 'o) t;
+    lock : Mutex.t;
+    gen : int Atomic.t; (* odd while an insert is in flight *)
+    sh_hits : int Atomic.t;
+    sh_misses : int Atomic.t;
+    m_sh_hits : int ref; (* cache.shard.hits{shard=..} *)
+    m_sh_misses : int ref;
+    g_sh_nodes : float ref;
+  }
+
+  type nonrec ('i, 'o) t = { shards : ('i, 'o) shard array }
+
+  let create ?(shards = 8) () =
+    if shards < 1 then invalid_arg "Cache.Sharded.create: shards must be >= 1";
+    let mk i =
+      let l = [ ("shard", string_of_int i) ] in
+      {
+        trie = create ();
+        lock = Mutex.create ();
+        gen = Atomic.make 0;
+        sh_hits = Atomic.make 0;
+        sh_misses = Atomic.make 0;
+        m_sh_hits = Metrics.counter_l Metrics.default "cache.shard.hits" l;
+        m_sh_misses = Metrics.counter_l Metrics.default "cache.shard.misses" l;
+        g_sh_nodes = Metrics.gauge_l Metrics.default "cache.shard.nodes" l;
+      }
+    in
+    { shards = Array.init shards mk }
+
+  let shards t = Array.length t.shards
+
+  let shard_of t word =
+    match word with
+    | [] -> 0
+    | x :: _ -> Hashtbl.hash x land max_int mod Array.length t.shards
+
+  let shard t word = t.shards.(shard_of t word)
+
+  let locked s f =
+    Mutex.lock s.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+  let insert t word outs =
+    let s = shard t word in
+    locked s (fun () ->
+        Atomic.incr s.gen;
+        Fun.protect
+          ~finally:(fun () -> Atomic.incr s.gen)
+          (fun () -> insert s.trie word outs);
+        Metrics.set s.g_sh_nodes (float_of_int (size s.trie)))
+
+  (* Optimistic read: safe to run lock-free thanks to publication-safe
+     inserts, but any overlap with a writer (generation moved, or odd
+     at the start) voids the attempt — fall back to the mutex. *)
+  let read s f =
+    let g = Atomic.get s.gen in
+    if g land 1 = 1 then locked s f
+    else
+      match f () with
+      | v -> if Atomic.get s.gen = g then v else locked s f
+      | exception _ -> locked s f
+
+  let lookup t word =
+    let s = shard t word in
+    read s (fun () -> lookup s.trie word)
+
+  let lookup_longest_prefix t word =
+    let s = shard t word in
+    read s (fun () -> lookup_longest_prefix s.trie word)
+
+  let fold f t init =
+    Array.fold_left (fun acc s -> f acc s) init t.shards
+
+  (* [size] counts the root once across all shards, matching the
+     unsharded accounting (each shard's [size] includes its root). *)
+  let size t = fold (fun acc s -> acc + size s.trie - 1) t 1
+  let compacted_nodes t = fold (fun acc s -> acc + compacted_nodes s.trie - 1) t 1
+  let hits t = fold (fun acc s -> acc + Atomic.get s.sh_hits) t 0
+  let misses t = fold (fun acc s -> acc + Atomic.get s.sh_misses) t 0
+
+  (* The unsharded canonical dump is a symbol-sorted DFS, i.e. the
+     maximal cached words in lexicographic symbol order; shards
+     partition words by first symbol, so sorting the concatenation of
+     the per-shard canonical dumps restores exactly that order —
+     byte-identical to the dump of one trie holding every word. *)
+  let dump t =
+    Array.to_list t.shards
+    |> List.concat_map (fun s -> dump s.trie)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let restore t words = List.iter (fun (w, outs) -> insert t w outs) words
+
+  let record_hit s =
+    Atomic.incr s.sh_hits;
+    Metrics.inc s.m_sh_hits;
+    Metrics.inc m_hits
+
+  let record_miss s =
+    Atomic.incr s.sh_misses;
+    Metrics.inc s.m_sh_misses;
+    Metrics.inc m_misses
+
+  let wrap t (mq : ('i, 'o) Oracle.membership) =
+    (* Same contract as the unsharded {!wrap}: misses replay the full
+       word on the underlying oracle, a cached prefix stands in for
+       the fresh prefix outputs with the replay cross-checked for
+       nondeterminism. Shared across sessions, so hit/miss tallies go
+       through the shard atomics. *)
+    let miss s word =
+      record_miss s;
+      let answer =
+        match lookup_longest_prefix t word with
+        | None -> mq.Oracle.ask word
+        | Some (prefix, cached_outs) ->
+            let k = List.length prefix in
+            let fresh = mq.Oracle.ask word in
+            let fresh_prefix, fresh_suffix = split_at k fresh in
+            if fresh_prefix <> cached_outs then
+              invalid_arg
+                "Cache.insert: conflicting outputs (nondeterministic SUL?)";
+            Metrics.inc m_prefix_hits;
+            Metrics.inc ~by:k m_prefix_symbols;
+            cached_outs @ fresh_suffix
+      in
+      insert t word answer;
+      answer
+    in
+    let ask word =
+      let s = shard t word in
+      match lookup t word with
+      | Some answer ->
+          record_hit s;
+          answer
+      | None -> miss s word
+    in
+    let ask_batch =
+      Option.map
+        (fun batch words ->
+          let tagged =
+            List.map
+              (fun word ->
+                match lookup t word with
+                | Some answer ->
+                    record_hit (shard t word);
+                    Either.Left answer
+                | None ->
+                    record_miss (shard t word);
+                    Either.Right word)
+              words
+          in
+          let missing =
+            List.filter_map
+              (function Either.Right w -> Some w | Either.Left _ -> None)
+              tagged
+          in
+          let answers =
+            match missing with
+            | [] -> []
+            | _ ->
+                let answers = batch missing in
+                List.iter2 (insert t) missing answers;
+                answers
+          in
+          let rec stitch tagged answers =
+            match (tagged, answers) with
+            | [], [] -> []
+            | Either.Left a :: rest, answers -> a :: stitch rest answers
+            | Either.Right _ :: rest, a :: answers -> a :: stitch rest answers
+            | _ -> invalid_arg "Cache.Sharded.wrap: batch answer count mismatch"
+          in
+          stitch tagged answers)
+        mq.Oracle.ask_batch
+    in
+    { mq with Oracle.ask; ask_batch }
+end

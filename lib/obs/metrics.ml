@@ -73,39 +73,53 @@ let mean h = if h.count = 0 then nan else h.sum /. float_of_int h.count
 
 type metric = Counter of int ref | Gauge of float ref | Hist of histogram
 
-type t = { tbl : (string, metric) Hashtbl.t }
+(* The registry table is guarded by a mutex: get-or-create and the
+   whole-table walks (reset, snapshot) may now run from the fleet
+   scheduler's worker domains, and an unsynchronized Hashtbl resize
+   under a concurrent probe is memory-unsafe. Only registration locks —
+   updates through the returned refs stay bare writes, so concurrent
+   sessions may lose increments to each other; the deterministic
+   counters CI gates on live in per-run oracle stats, not here. *)
+type t = { tbl : (string, metric) Hashtbl.t; lock : Mutex.t }
 
-let create () = { tbl = Hashtbl.create 32 }
+let create () = { tbl = Hashtbl.create 32; lock = Mutex.create () }
 let default = create ()
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let kind_error name = invalid_arg ("Metrics: " ^ name ^ " registered with another kind")
 
 let counter t name =
-  match Hashtbl.find_opt t.tbl name with
-  | Some (Counter r) -> r
-  | Some _ -> kind_error name
-  | None ->
-      let r = ref 0 in
-      Hashtbl.add t.tbl name (Counter r);
-      r
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Counter r) -> r
+      | Some _ -> kind_error name
+      | None ->
+          let r = ref 0 in
+          Hashtbl.add t.tbl name (Counter r);
+          r)
 
 let gauge t name =
-  match Hashtbl.find_opt t.tbl name with
-  | Some (Gauge r) -> r
-  | Some _ -> kind_error name
-  | None ->
-      let r = ref 0.0 in
-      Hashtbl.add t.tbl name (Gauge r);
-      r
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Gauge r) -> r
+      | Some _ -> kind_error name
+      | None ->
+          let r = ref 0.0 in
+          Hashtbl.add t.tbl name (Gauge r);
+          r)
 
 let histogram t name =
-  match Hashtbl.find_opt t.tbl name with
-  | Some (Hist h) -> h
-  | Some _ -> kind_error name
-  | None ->
-      let h = fresh_histogram () in
-      Hashtbl.add t.tbl name (Hist h);
-      h
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Hist h) -> h
+      | Some _ -> kind_error name
+      | None ->
+          let h = fresh_histogram () in
+          Hashtbl.add t.tbl name (Hist h);
+          h)
 
 (* Labelled variants: the label set is folded into the registry key
    ([name{k="v",...}], keys sorted) at handle-creation time, so after
@@ -123,18 +137,19 @@ let set g v = g := v
 (* Zero every metric in place: refs handed out earlier stay valid, so
    instrumentation sites can cache them across runs. *)
 let reset t =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | Counter r -> r := 0
-      | Gauge r -> r := 0.0
-      | Hist h ->
-          Array.fill h.counts 0 nbuckets 0;
-          h.count <- 0;
-          h.sum <- 0.0;
-          h.minv <- infinity;
-          h.maxv <- neg_infinity)
-    t.tbl
+  locked t (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Counter r -> r := 0
+          | Gauge r -> r := 0.0
+          | Hist h ->
+              Array.fill h.counts 0 nbuckets 0;
+              h.count <- 0;
+              h.sum <- 0.0;
+              h.minv <- infinity;
+              h.maxv <- neg_infinity)
+        t.tbl)
 
 (* Structural snapshot for exporters (the OpenMetrics renderer): every
    metric under its registry name (labels still encoded), histograms
@@ -149,6 +164,7 @@ type hist_view = {
 type view = V_counter of int | V_gauge of float | V_hist of hist_view
 
 let snapshot t =
+  locked t @@ fun () ->
   Hashtbl.fold
     (fun name m acc ->
       let view =
@@ -182,9 +198,11 @@ let histogram_json h =
 
 let to_json t =
   let sorted kind =
-    Hashtbl.fold
-      (fun name m acc -> match kind name m with Some j -> (name, j) :: acc | None -> acc)
-      t.tbl []
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun name m acc ->
+            match kind name m with Some j -> (name, j) :: acc | None -> acc)
+          t.tbl [])
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
   let counters =

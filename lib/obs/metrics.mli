@@ -4,7 +4,15 @@
     Instrumentation sites obtain a metric once (get-or-create by name)
     and then update it through a bare ref, so the hot-path cost is a
     single write. {!reset} zeroes metrics in place, keeping previously
-    obtained handles valid. *)
+    obtained handles valid.
+
+    Registration, {!reset} and the snapshot walks are serialized by a
+    per-registry mutex, so fleet sessions running on worker domains may
+    register metrics concurrently. Updates through the returned refs
+    remain unsynchronized single writes: concurrent sessions can lose
+    increments to each other, which is acceptable for these advisory
+    process-wide totals (the deterministic counters CI gates on are the
+    per-run oracle statistics, not this registry). *)
 
 type t
 (** A registry. *)

@@ -68,7 +68,11 @@ let last_segment path =
 (* Paths where "bigger means worse": benchmark timings, and the query
    /reset/step effort counters of a learning run. Baseline echoes and
    saved-count bookkeeping inside a report are excluded — a resumed
-   run legitimately carries larger cumulative baselines. *)
+   run legitimately carries larger cumulative baselines.
+   [sessions_per_sec] is a throughput, so its direction is inverted
+   (see {!inverted}); it belongs here, in the advisory wall-clock
+   gate, and is deliberately absent from {!counter_watch} — it is
+   scheduling- and hardware-dependent, never deterministic. *)
 let default_watch path =
   (not (contains ~sub:"baseline" path))
   && (not (contains ~sub:"saved" path))
@@ -76,9 +80,13 @@ let default_watch path =
      ||
      match last_segment path with
      | "membership_queries" | "membership_symbols" | "resets" | "steps"
-     | "test_words" | "queries_per_identification" ->
+     | "test_words" | "queries_per_identification" | "sessions_per_sec" ->
          true
      | _ -> false)
+
+(* Throughput paths: "smaller means worse", so the regression test
+   flips direction for them. *)
+let inverted path = last_segment path = "sessions_per_sec"
 
 (* The deterministic effort counters: identical-seed runs reproduce
    these byte-for-byte, so CI gates them at threshold zero and in both
@@ -109,6 +117,8 @@ let regressions ?(threshold = 0.10) ?(watch = default_watch) deltas =
       watch d.path
       &&
       match (d.a, d.b) with
-      | Some a, Some b -> b > a *. (1.0 +. threshold) +. 1e-9
+      | Some a, Some b ->
+          if inverted d.path then b *. (1.0 +. threshold) < a -. 1e-9
+          else b > a *. (1.0 +. threshold) +. 1e-9
       | _ -> false)
     deltas

@@ -25,14 +25,23 @@ val default_watch : string -> bool
 (** The paths the regression gate watches by default: benchmark
     timings ([benchmarks_ns_per_run]), learning-effort counters
     (membership_queries, membership_symbols, resets, steps,
-    test_words) and the fingerprint service's per-endpoint
-    identification cost (queries_per_identification), excluding
-    baseline echoes and saved-count bookkeeping. *)
+    test_words), the fingerprint service's per-endpoint
+    identification cost (queries_per_identification) and the fleet
+    scheduler's throughput (sessions_per_sec, direction inverted —
+    see {!inverted}), excluding baseline echoes and saved-count
+    bookkeeping. *)
+
+val inverted : string -> bool
+(** Throughput paths ([sessions_per_sec]) where smaller means worse;
+    {!regressions} flips the comparison direction for them. They are
+    wall-clock-dependent, so they live in the advisory gate only —
+    {!counter_watch} never matches them. *)
 
 val regressions :
   ?threshold:float -> ?watch:(string -> bool) -> delta list -> delta list
 (** Watched paths present on both sides whose value grew by more than
-    [threshold] (default 0.10, i.e. 10%). *)
+    [threshold] (default 0.10, i.e. 10%) — or, for {!inverted} paths,
+    shrank by more than the threshold. *)
 
 val counter_watch : string -> bool
 (** The deterministic counters (membership_queries,

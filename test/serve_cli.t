@@ -1,0 +1,64 @@
+Fleet learning via the CLI. `serve` takes a prognosis.jobs/1 file —
+a list of learn / identify jobs over any mix of subjects — and runs
+the sessions on a domain pool, sharing one sharded membership cache
+per endpoint and one resident classification tree across identify
+jobs. Build the library from the committed goldens first:
+
+  $ mkdir lib
+  $ cp ../examples/golden/*.model lib/
+  $ ../bin/prognosis_cli.exe library build lib
+  library lib: 3 entries
+
+  $ cat > jobs.json <<'EOF'
+  > {"schema": "prognosis.jobs/1", "jobs": [
+  >   {"op": "identify", "subject": "tcp"},
+  >   {"op": "identify", "subject": "quic:quiche-like"},
+  >   {"op": "identify", "subject": "tcp", "seed": 2},
+  >   {"op": "learn", "subject": "dtls", "seed": 7}
+  > ]}
+  > EOF
+
+At --domains 1 the counters are deterministic (job order decides who
+warms each cache); the wall-clock figures are not, so strip them. The
+second tcp session is answered entirely from the cache the first one
+warmed — 0 membership queries:
+
+  $ ../bin/prognosis_cli.exe serve --jobs jobs.json --library lib --domains 1 --metrics-out report.json \
+  >   | sed -e 's/, [0-9.]*s$//' -e 's/ in [0-9.]*s ([0-9.]* sessions\/s)//'
+  #0 identify tcp (seed 1): known: tcp, 12 queries
+  #1 identify quic:quiche-like (seed 1): known: quic-quiche-like, 32 queries
+  #2 identify tcp (seed 2): known: tcp, 0 queries
+  #3 learn dtls (seed 7): learned 7 states, 1600 queries
+  4 session(s) on 1 domain(s), 2718 shared cache hit(s)
+  metrics written to report.json
+
+The report embeds the service block under the standard report schema:
+
+  $ grep -o '"schema":"prognosis.report/1"' report.json
+  "schema":"prognosis.report/1"
+  $ grep -o '"schema":"prognosis.service/1"' report.json
+  "schema":"prognosis.service/1"
+
+Session results are invariant under the domain count — only the
+wall-clock and who-warmed-the-cache counters move:
+
+  $ ../bin/prognosis_cli.exe serve --jobs jobs.json --library lib --domains 4 \
+  >   | sed -e 's/, [0-9]* queries, [0-9.]*s$/<counters>/' -e 's/ on [0-9] domain(s).*/ on N domain(s)/'
+  #0 identify tcp (seed 1): known: tcp<counters>
+  #1 identify quic:quiche-like (seed 1): known: quic-quiche-like<counters>
+  #2 identify tcp (seed 2): known: tcp<counters>
+  #3 learn dtls (seed 7): learned 7 states<counters>
+  4 session(s) on N domain(s)
+
+Identify jobs without a library are rejected up front:
+
+  $ ../bin/prognosis_cli.exe serve --jobs jobs.json
+  error: identify jobs require a model library
+  [1]
+
+  $ cat > bad.json <<'EOF'
+  > {"schema": "prognosis.jobs/1", "jobs": [{"op": "frob", "subject": "tcp"}]}
+  > EOF
+  $ ../bin/prognosis_cli.exe serve --jobs bad.json
+  error: job 0: unknown op "frob"
+  [1]

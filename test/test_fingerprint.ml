@@ -227,6 +227,91 @@ let splitter_insert () =
   | Ok (Splitter.Duplicate _) -> Alcotest.fail "fresh behaviour deduplicated"
   | Error msg -> Alcotest.fail msg
 
+(* --- Splitter: rebalancing a tree degraded by incremental inserts --- *)
+
+let depth_gauge = Prognosis_obs.Metrics.gauge Prognosis_obs.Metrics.default
+    "splitter.depth"
+
+(* Unary-counter family: model [n] answers "hit" on the x that leaves
+   state [n] and "go" everywhere else. Each next model diverges one
+   step deeper than the last, so inserting them in order hangs every
+   new leaf off the previous one — the worst case for tree depth. *)
+let counter_model n =
+  Mealy.of_fun ~size:(n + 2) ~initial:0 ~inputs:[| "x"; "y" |]
+    ~step:(fun s i ->
+      match i with
+      | "x" when s <= n -> (s + 1, if s = n then "hit" else "go")
+      | "x" -> (s, "go")
+      | _ -> (s, "idle"))
+
+let counter_entry n =
+  Library.entry_of_model
+    ~name:(Printf.sprintf "c%02d" n)
+    ~kind:Persist.Tcp_model (counter_model n)
+
+let insert_all tree es =
+  List.fold_left
+    (fun tree e ->
+      match Splitter.insert tree e with
+      | Ok (Splitter.Inserted t) -> t
+      | Ok (Splitter.Duplicate d) ->
+          Alcotest.failf "%s deduplicated against %s" e.Library.name
+            d.Library.name
+      | Error msg -> Alcotest.fail msg)
+    tree es
+
+let splitter_rebuild_if_skewed () =
+  let n = 50 in
+  let es = List.init n counter_entry in
+  let degraded = insert_all (build_exn [ List.hd es ]) (List.tl es) in
+  let d0 = (Splitter.stats degraded).Splitter.depth in
+  (* 2 x log2 50 ~ 11.3: a 50-leaf chain is far past the threshold *)
+  Alcotest.(check bool) "incremental inserts degraded the tree" true
+    (float_of_int d0 > 2.0 *. (log (float_of_int n) /. log 2.0));
+  match Splitter.rebuild_if_skewed degraded with
+  | Error msg -> Alcotest.fail msg
+  | Ok (rebuilt, flagged) ->
+      Alcotest.(check bool) "skew detected" true flagged;
+      let fresh = build_exn (Splitter.entries degraded) in
+      Alcotest.(check int) "depth matches a from-scratch build"
+        (Splitter.stats fresh).Splitter.depth
+        (Splitter.stats rebuilt).Splitter.depth;
+      Alcotest.(check int) "no entry lost" n
+        (List.length (Splitter.entries rebuilt));
+      Alcotest.(check (float 0.0)) "splitter.depth gauge tracks the rebuild"
+        (float_of_int (Splitter.stats rebuilt).Splitter.depth)
+        !depth_gauge;
+      List.iter
+        (fun (e : Library.entry) ->
+          let r = Identify.run ~mq:(mq_of e.Library.model) rebuilt in
+          Alcotest.(check string)
+            (e.Library.name ^ " still classified after rebuild")
+            ("known:" ^ e.Library.name)
+            (outcome_name r.Identify.outcome))
+        [ List.nth es 0; List.nth es 24; List.nth es 49 ]
+
+let splitter_rebuild_leaves_balanced_alone () =
+  (* Eight models answering pairwise-distinct outputs on the first x:
+     every insert widens the root node instead of deepening it. *)
+  let wide n =
+    Library.entry_of_model
+      ~name:(Printf.sprintf "w%d" n)
+      ~kind:Persist.Tcp_model
+      (Mealy.of_fun ~size:1 ~initial:0 ~inputs:[| "x"; "y" |]
+         ~step:(fun s i ->
+           (s, if i = "x" then Printf.sprintf "o%d" n else "idle")))
+  in
+  let es = List.init 8 wide in
+  let tree = insert_all (build_exn [ List.hd es ]) (List.tl es) in
+  match Splitter.rebuild_if_skewed tree with
+  | Error msg -> Alcotest.fail msg
+  | Ok (tree', flagged) ->
+      Alcotest.(check bool) "balanced tree not flagged" false flagged;
+      Alcotest.(check bool) "returned unchanged" true (tree' = tree);
+      Alcotest.(check (float 0.0)) "gauge still set"
+        (float_of_int (Splitter.stats tree).Splitter.depth)
+        !depth_gauge
+
 (* --- Identify: golden models are Known, a mutant is Novel --- *)
 
 (* `dune runtest` runs from _build/default/test; `dune exec` from the
@@ -398,6 +483,10 @@ let () =
             splitter_classifies_members;
           Alcotest.test_case "deterministic" `Quick splitter_deterministic;
           Alcotest.test_case "insert" `Quick splitter_insert;
+          Alcotest.test_case "rebuild when skewed" `Quick
+            splitter_rebuild_if_skewed;
+          Alcotest.test_case "balanced left alone" `Quick
+            splitter_rebuild_leaves_balanced_alone;
         ] );
       ( "identify",
         [

@@ -107,6 +107,90 @@ let trie_restores_old_format_order () =
   Alcotest.(check bool) "canonical dump independent of input order" true
     (Cache.dump c2 = d)
 
+(* --- sharded cache == one trie, under any shard count --- *)
+
+(* Random prefix-consistent word sets (answered by a fixed machine,
+   like [consistent_queries]) dumped from a [Cache.Sharded] must be
+   byte-identical to the unsharded canonical dump — that is what lets
+   a fleet checkpoint interchange with a solo one. *)
+let gen_word_set =
+  let open QCheck2.Gen in
+  let m =
+    Mealy.of_fun ~size:6 ~initial:0 ~inputs:[| 0; 1; 2; 3 |] ~step:(fun s i ->
+        ((s + (2 * i) + 1) mod 6, (s * 5) + i))
+  in
+  list_size (int_range 0 80)
+    (list_size (int_range 0 10) (int_range 0 3))
+  >>= fun words -> return (List.map (fun w -> (w, Mealy.run m w)) words)
+
+let prop_sharded_dump_canonical =
+  QCheck2.Test.make ~count:60
+    ~name:"Sharded.dump == unsharded dump for K in {1,4,8}"
+    gen_word_set (fun qs ->
+      let flat = Cache.create () in
+      List.iter (fun (w, o) -> Cache.insert flat w o) qs;
+      let reference = Cache.dump flat in
+      List.for_all
+        (fun k ->
+          let sharded = Cache.Sharded.create ~shards:k () in
+          List.iter (fun (w, o) -> Cache.Sharded.insert sharded w o) qs;
+          Cache.Sharded.dump sharded = reference
+          && Cache.Sharded.size sharded = Cache.size flat
+          && List.for_all
+               (fun (w, o) -> Cache.Sharded.lookup sharded w = Some o)
+               qs)
+        [ 1; 4; 8 ])
+
+(* Four domains hammering the same sharded cache: two inserting
+   disjoint prefix-consistent sets, two doing optimistic lookups the
+   whole time. Every lookup that returns must return the machine's
+   answer (the seqlock may retry but never tears), and the final dump
+   equals a sequential insert of everything. *)
+let sharded_stress_four_domains () =
+  let m =
+    Mealy.of_fun ~size:7 ~initial:0 ~inputs:[| 0; 1; 2; 3; 4 |]
+      ~step:(fun s i -> ((s + i + 2) mod 7, (s * 7) + (2 * i)))
+  in
+  let answers w = Mealy.run m w in
+  let words_of seed n =
+    let rng = Prognosis_sul.Rng.create seed in
+    List.init n (fun _ ->
+        let len = 1 + Prognosis_sul.Rng.int rng 9 in
+        List.init len (fun _ -> Prognosis_sul.Rng.int rng 5))
+  in
+  let batch_a = words_of 31L 400 and batch_b = words_of 32L 400 in
+  let cache = Cache.Sharded.create ~shards:8 () in
+  let torn = Atomic.make 0 and looked = Atomic.make 0 in
+  let inserter batch () =
+    List.iter (fun w -> Cache.Sharded.insert cache w (answers w)) batch
+  in
+  let prober batch () =
+    for _ = 1 to 30 do
+      List.iter
+        (fun w ->
+          match Cache.Sharded.lookup cache w with
+          | Some o ->
+              Atomic.incr looked;
+              if o <> answers w then Atomic.incr torn
+          | None -> ())
+        batch
+    done
+  in
+  let ds =
+    List.map Domain.spawn
+      [ inserter batch_a; prober batch_b; inserter batch_b; prober batch_a ]
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no lookup ever tore" 0 (Atomic.get torn);
+  Alcotest.(check bool) "probers saw published entries" true
+    (Atomic.get looked > 0);
+  let sequential = Cache.create () in
+  List.iter
+    (fun w -> Cache.insert sequential w (answers w))
+    (batch_a @ batch_b);
+  Alcotest.(check bool) "dump == sequential insert of both batches" true
+    (Cache.Sharded.dump cache = Cache.dump sequential)
+
 (* --- sharded equivalence testing is deterministic --- *)
 
 let canonical_text r =
@@ -144,6 +228,12 @@ let () =
             trie_dump_restore_roundtrip;
           Alcotest.test_case "old-format order" `Quick
             trie_restores_old_format_order;
+        ] );
+      ( "sharded",
+        [
+          QCheck_alcotest.to_alcotest prop_sharded_dump_canonical;
+          Alcotest.test_case "4-domain stress" `Slow
+            sharded_stress_four_domains;
         ] );
       ( "parallel-eq",
         [
